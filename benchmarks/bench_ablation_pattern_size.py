@@ -1,0 +1,91 @@
+"""Ablation (paper "perspectives"): pattern size vs communication
+efficiency trade-off, and the effect of the search budget.
+
+The conclusion asks "how large a pattern needs to be to obtain good
+communication efficiency".  We sweep the GCR&M size cap and the seed
+budget for a few P and report the best cost each budget achieves.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.patterns.gcrm import feasible_sizes, gcrm, gcrm_search
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_size_cap(benchmark, save_result):
+    """Best cost as a function of the allowed pattern-size factor."""
+
+    def run():
+        rows = []
+        for P in (23, 31, 39):
+            for factor in (1.5, 2.0, 3.0, 4.0, 6.0):
+                try:
+                    res = gcrm_search(P, seeds=range(10), max_factor=factor)
+                    cost = res.cost
+                    r = res.pattern.nrows
+                except ValueError:
+                    cost, r = float("nan"), 0
+                rows.append({"P": P, "max_factor": factor, "best_cost": cost,
+                             "best_r": r, "ref_sqrt_2P": math.sqrt(2 * P)})
+        return FigureResult("Ablation A", "GCR&M cost vs pattern-size budget", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ablation_pattern_size")
+
+    for P in (23, 31, 39):
+        series = [r["best_cost"] for r in result.rows if r["P"] == P
+                  and not math.isnan(r["best_cost"])]
+        # enlarging the budget never hurts (search keeps the best)
+        assert all(series[i + 1] <= series[i] + 1e-9 for i in range(len(series) - 1))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_seed_budget(benchmark, save_result):
+    """Best cost as a function of the number of random seeds (Fig 9's
+    message: randomness matters, so budget buys quality)."""
+
+    def run():
+        rows = []
+        P = 23
+        sizes = feasible_sizes(P, max_factor=4.0)
+        for budget in (1, 5, 25):
+            best = min(gcrm(P, r, seed=s).cost for r in sizes for s in range(budget))
+            rows.append({"P": P, "seeds": budget, "best_cost": best})
+        return FigureResult("Ablation B", "GCR&M cost vs seed budget (P=23)", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ablation_seed_budget")
+
+    costs = [r["best_cost"] for r in result.rows]
+    assert costs == sorted(costs, reverse=True) or costs[-1] <= costs[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_tie_break(benchmark, save_result):
+    """Which phase-1 tie-break ingredient matters (Figure 8/9 context)?
+
+    'usage_random' is the paper's policy; 'random' drops the
+    lowest-usage filter; 'first' removes randomness entirely.
+    """
+    from repro.patterns.gcrm import TIE_BREAKS
+
+    def run():
+        rows = []
+        P = 23
+        sizes = [r for r in feasible_sizes(P, max_factor=4.0)]
+        for policy in TIE_BREAKS:
+            best = min(gcrm(P, r, seed=s, tie_break=policy).cost
+                       for r in sizes for s in range(10))
+            rows.append({"policy": policy, "best_cost": best})
+        return FigureResult("Ablation C", "GCR&M tie-break policy (P=23)", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ablation_tie_break")
+
+    by = {r["policy"]: r["best_cost"] for r in result.rows}
+    # randomized policies explore more and should not lose to 'first'
+    assert by["usage_random"] <= by["first"] + 1e-9
+    assert by["random"] <= by["first"] + 1e-9

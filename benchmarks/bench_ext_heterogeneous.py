@@ -1,0 +1,67 @@
+"""Extension (paper conclusion): heterogeneous nodes.
+
+Compares the homogeneous G-2DBC against the speed-weighted
+``heterogeneous_g2dbc`` on clusters with skewed node speeds.  Expected
+shape: the weighted pattern's makespan advantage grows with the skew,
+because the homogeneous pattern leaves fast nodes idle.
+"""
+
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.lu import build_lu_graph
+from repro.experiments.figures import FigureResult
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.heterogeneous import heterogeneous_g2dbc, weighted_imbalance
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.simulator import simulate
+
+
+def run_case(speeds, n_tiles=24, tile_size=200):
+    cl = ClusterSpec(nnodes=len(speeds), cores_per_node=4, core_gflops=10.0,
+                     bandwidth_Bps=3e9, latency_s=5e-6, tile_size=tile_size,
+                     node_speeds=tuple(speeds))
+    out = {}
+    for label, pat in (("uniform", g2dbc(len(speeds))),
+                       ("weighted", heterogeneous_g2dbc(speeds))):
+        dist = TileDistribution(pat, n_tiles)
+        graph, home = build_lu_graph(dist, tile_size)
+        trace = simulate(graph, cl, data_home=home)
+        out[label] = (trace.makespan, weighted_imbalance(pat, speeds))
+    return out
+
+
+@pytest.mark.benchmark(group="ext-hetero")
+def test_heterogeneous_lu(benchmark, save_result):
+    def run():
+        rows = []
+        cases = {
+            "balanced 8x1.0": [1.0] * 8,
+            "2 fast (2x) of 8": [2.0, 2.0] + [1.0] * 6,
+            "half fast (3x) of 8": [3.0] * 4 + [1.0] * 4,
+            "one gpu-ish (4x) of 7": [4.0] + [1.0] * 6,
+        }
+        for label, speeds in cases.items():
+            res = run_case(speeds)
+            rows.append({
+                "cluster": label,
+                "uniform_makespan": res["uniform"][0],
+                "weighted_makespan": res["weighted"][0],
+                "speedup": res["uniform"][0] / res["weighted"][0],
+                "uniform_imbalance": res["uniform"][1],
+                "weighted_imbalance": res["weighted"][1],
+            })
+        return FigureResult("Extension", "heterogeneous nodes: uniform vs weighted G-2DBC", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ext_heterogeneous")
+
+    by = {r["cluster"]: r for r in result.rows}
+    # homogeneous case: both patterns identical in makespan (same grid)
+    assert by["balanced 8x1.0"]["speedup"] == pytest.approx(1.0, abs=0.05)
+    # skewed cases: weighted pattern wins, more skew -> more win
+    assert by["half fast (3x) of 8"]["speedup"] > 1.1
+    assert by["one gpu-ish (4x) of 7"]["speedup"] > 1.05
+    # and its load is proportional to speed while uniform's is not
+    assert by["half fast (3x) of 8"]["weighted_imbalance"] < \
+        by["half fast (3x) of 8"]["uniform_imbalance"]

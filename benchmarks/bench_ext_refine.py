@@ -1,0 +1,54 @@
+"""Extension (open question §VI): local-search refinement of GCR&M.
+
+Quantifies how much a cheap single-cell-move descent improves raw
+GCR&M patterns, and whether search + refine beats a bigger raw search
+budget at equal cost.
+"""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.patterns.gcrm import feasible_sizes, gcrm, gcrm_search
+from repro.patterns.refine import refine_symmetric
+from repro.patterns.sbc import sbc
+
+
+@pytest.mark.benchmark(group="ext-refine")
+def test_refine_gcrm(benchmark, save_result):
+    def run():
+        rows = []
+        for P in (23, 31, 39):
+            raw = gcrm_search(P, seeds=range(15), max_factor=4.0)
+            ref = refine_symmetric(raw.pattern)
+            # per-seed statistics on a mid-size pattern
+            r = feasible_sizes(P, max_factor=3.0)[-1]
+            gains = []
+            for s in range(15):
+                res = gcrm(P, r, seed=s)
+                gains.append(refine_symmetric(res.pattern).improvement)
+            rows.append({
+                "P": P,
+                "search_cost": raw.cost,
+                "search+refine": ref.cost,
+                "mean_gain_raw": sum(gains) / len(gains),
+                "max_gain_raw": max(gains),
+            })
+        return FigureResult("Extension", "GCR&M + local-search refinement", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ext_refine")
+
+    for row in result.rows:
+        assert row["search+refine"] <= row["search_cost"] + 1e-12
+        assert row["max_gain_raw"] >= 0.0
+
+
+@pytest.mark.benchmark(group="ext-refine")
+def test_refine_preserves_sbc_optimality(benchmark):
+    """SBC patterns are local optima of the move neighbourhood."""
+
+    def run():
+        return [refine_symmetric(sbc(P)).moves for P in (21, 28, 32, 36)]
+
+    moves = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert moves == [0, 0, 0, 0]

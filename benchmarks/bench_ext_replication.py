@@ -1,0 +1,79 @@
+"""Extension (Section II-A related work): the 2D ↔ 2.5D ↔ 3D continuum.
+
+Places the paper's 2D patterns on the replication trade-off curves of
+Irony et al. and Solomonik-Demmel: how much communication replication
+could still remove, at what memory price — context for why the paper's
+*memory-neutral* improvements (G-2DBC, GCR&M) matter in practice.
+"""
+
+import math
+
+import pytest
+
+from repro.cost.replication import (
+    max_useful_replication,
+    memory_per_node,
+    replication_tradeoff,
+)
+from repro.cost.metrics import q_lu
+from repro.experiments.figures import FigureResult
+from repro.patterns.g2dbc import g2dbc
+
+
+@pytest.mark.benchmark(group="ext-replication")
+def test_replication_tradeoff_curves(benchmark, save_result):
+    m, P = 100_000, 64
+
+    def run():
+        rows = []
+        for kernel in ("gemm", "lu"):
+            for row in replication_tradeoff(m, P, kernel,
+                                            factors=[1.0, 2.0, 4.0]):
+                row = dict(row)
+                row["kernel"] = kernel
+                rows.append(row)
+        return FigureResult("Extension", f"2.5D replication trade-off "
+                            f"(m={m}, P={P})", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ext_replication")
+
+    for kernel in ("gemm", "lu"):
+        series = [r for r in result.rows if r["kernel"] == kernel]
+        # doubling memory buys a 1/sqrt(2) volume cut, exactly
+        assert series[1]["volume_vs_2d"] == pytest.approx(1 / math.sqrt(2))
+        assert series[2]["volume_vs_2d"] == pytest.approx(0.5)
+
+
+@pytest.mark.benchmark(group="ext-replication")
+def test_g2dbc_vs_replication(benchmark, save_result):
+    """How the paper's memory-neutral gain compares to buying memory:
+    for P=23, G-2DBC already cuts 2DBC-23x1 volume by ~2.5x at c=1 —
+    more than 2.5D replication with 6x the memory would cut from a
+    square 2DBC."""
+    P, n = 23, 200
+
+    def run():
+        from repro.patterns.bc2d import bc2d
+
+        good = q_lu(g2dbc(P), n)
+        bad = q_lu(bc2d(23, 1), n)
+        rows = [{
+            "what": "G-2DBC vs 23x1 (c=1, same memory)",
+            "volume_ratio": good / bad,
+            "memory_ratio": 1.0,
+        }]
+        for c in (2.0, max_useful_replication(P)):
+            rows.append({
+                "what": f"2.5D c={c:.2f} vs c=1",
+                "volume_ratio": 1 / math.sqrt(c),
+                "memory_ratio": c,
+            })
+        return FigureResult("Extension", "pattern quality vs replication", rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "ext_g2dbc_vs_replication")
+
+    pattern_gain = result.rows[0]["volume_ratio"]
+    best_replication_gain = result.rows[-1]["volume_ratio"]
+    assert pattern_gain < best_replication_gain  # bigger cut, no memory cost

@@ -1,0 +1,32 @@
+"""Figure 3 — the G-2DBC construction example for P = 10.
+
+Also benchmarks pattern-construction throughput (the paper notes
+patterns are computed once and for all, in seconds on a laptop)."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.patterns.g2dbc import g2dbc, g2dbc_params, incomplete_pattern
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig3_g2dbc_example(benchmark, save_result):
+    pattern = benchmark(g2dbc, 10)
+
+    a, b, c = g2dbc_params(10)
+    assert (a, b, c) == (4, 3, 2)
+    assert pattern.shape == (6, 10)
+    ip = incomplete_pattern(10)
+    assert ip[2].tolist() == [8, 9, -1, -1]
+
+    rows = [{"what": "IP", "text": " / ".join(" ".join(map(str, r)) for r in ip.tolist())},
+            {"what": "G-2DBC", "text": " / ".join(" ".join(map(str, r)) for r in pattern.grid.tolist())}]
+    save_result(FigureResult("Figure 3", "G-2DBC pattern for P=10 (a=4, b=3, c=2)", rows),
+                "fig03_pattern_example")
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_g2dbc_construction_speed_large_p(benchmark):
+    """Constructing a pattern even for hundreds of nodes is instant."""
+    pattern = benchmark(g2dbc, 500)
+    assert pattern.is_balanced

@@ -1,0 +1,30 @@
+"""Figure 4 — communication cost T of G-2DBC vs the best 2DBC over P.
+
+Paper shape: G-2DBC hugs the 2√P curve for every P, while the best
+2DBC shows large spikes at primes / badly factorable P.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import fig4_g2dbc_cost
+
+P_RANGE = range(2, 121)
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig4_g2dbc_cost(benchmark, save_result):
+    result = benchmark.pedantic(lambda: fig4_g2dbc_cost(P_RANGE), rounds=1, iterations=1)
+    save_result(result, "fig04_g2dbc_cost")
+
+    for row in result.rows:
+        # G-2DBC stays within 2/sqrt(P) of the 2*sqrt(P) reference (Lemma 2)
+        assert row["g2dbc"] <= row["two_sqrt_P"] + 2 / math.sqrt(row["P"]) + 1e-9
+        # and never exceeds the best 2DBC
+        assert row["g2dbc"] <= row["best_2dbc"] + 1e-9
+
+    # 2DBC spikes at primes: cost P+1; G-2DBC does not
+    primes = [r for r in result.rows if r["best_2dbc"] == r["P"] + 1]
+    assert len(primes) >= 20
+    assert all(r["g2dbc"] < 0.56 * r["best_2dbc"] for r in primes if r["P"] > 12)

@@ -1,0 +1,30 @@
+"""Figure 9 — effect of pattern size and random seed on GCR&M (P = 23).
+
+Paper shape: the best pattern size is not trivial to predict (larger is
+not always better) and random tie-breaking spreads the cost noticeably
+at a fixed size.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig9_gcrm_size_effect
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9_gcrm_size_effect(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: fig9_gcrm_size_effect(P=23, seeds=range(25), max_factor=6.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result, "fig09_gcrm_size_effect")
+
+    rows = result.rows
+    assert len(rows) >= 8
+    # seed spread exists at some size (random choices matter)
+    assert any(r["max_cost"] - r["min_cost"] >= 0.2 for r in rows)
+    # non-monotone in r: a larger pattern is not always better
+    mins = [r["min_cost"] for r in rows]
+    assert any(mins[i] < mins[i + 1] for i in range(len(mins) - 1))
+    # the best size over the sweep lands in the paper's cost region
+    assert min(mins) <= 6.6

@@ -1,0 +1,41 @@
+"""Figure 10 — symmetric cost T of all pattern families over P.
+
+Paper shapes: SBC points sit on the √(2P) − 0.5 / √(2P) curves; GCR&M
+matches or beats SBC for many P and never (meaningfully) crosses the
+empirical √(3P/2) floor; (G-)2DBC pay ~√2 more.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import fig10_symmetric_cost
+
+P_RANGE = range(6, 61)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_symmetric_cost(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: fig10_symmetric_cost(P_RANGE, seeds=range(12), max_factor=4.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result, "fig10_symmetric_cost")
+
+    sbc_rows = [r for r in result.rows if not math.isnan(r["sbc"])]
+    assert len(sbc_rows) >= 8
+    for r in sbc_rows:
+        # GCR&M similar to or better than SBC where SBC exists
+        assert r["gcrm"] <= r["sbc"] + 1.0, r["P"]
+
+    for r in result.rows:
+        # nothing meaningfully below the floor
+        assert r["gcrm"] >= r["floor_sqrt_3P_2"] - 1.0, r["P"]
+        # symmetric-aware design beats G-2DBC's colrow cost for large P
+        if r["P"] >= 20:
+            assert r["gcrm"] < r["g2dbc_sym"], r["P"]
+
+    # GCR&M on average clearly below the basic-SBC growth curve
+    diffs = [r["gcrm"] - r["sqrt_2P"] for r in result.rows if r["P"] >= 15]
+    assert sum(diffs) / len(diffs) < 0.5

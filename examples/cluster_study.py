@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Cluster capacity study: what does the allocation shape cost you?
+
+Mimics the paper's operational motivation: on a 44-node cluster with
+pre-existing reservations, the number of available nodes varies day to
+day.  For each P in a range, simulate LU and Cholesky with the
+practical baseline (best 2DBC / SBC using at most P nodes) and with
+the paper's any-P patterns (G-2DBC / GCR&M), and report the
+time-to-solution improvement.
+
+Run:  python examples/cluster_study.py [n_tiles]
+"""
+
+import sys
+
+from repro.experiments.harness import run_factorization
+from repro.patterns import best_2dbc_within, best_sbc_within, g2dbc, gcrm_search
+
+
+def study(n_tiles: int = 40, P_values=(23, 26, 29, 31, 35, 39)) -> None:
+    print(f"Matrix: {n_tiles}x{n_tiles} tiles of 500 "
+          f"(m = {n_tiles * 500:,}); scaled PlaFRIM model\n")
+
+    print("LU factorization")
+    print(f"{'P':>3} | {'baseline (2DBC within P)':<30} {'G-2DBC':>12} {'speedup':>8}")
+    for P in P_values:
+        base_pat = best_2dbc_within(P)
+        base = run_factorization(base_pat, n_tiles, "lu")
+        ours = run_factorization(g2dbc(P), n_tiles, "lu")
+        label = f"{base_pat.name} ({base_pat.nnodes} nodes)"
+        print(f"{P:>3} | {label:<30} "
+              f"{ours.makespan:>10.3f}s {base.makespan / ours.makespan:>7.2f}x")
+
+    print("\nCholesky factorization")
+    print(f"{'P':>3} | {'baseline (SBC within P)':<30} {'GCR&M':>12} {'speedup':>8}")
+    for P in P_values:
+        base_pat = best_sbc_within(P)
+        base = run_factorization(base_pat, n_tiles, "cholesky")
+        pat = gcrm_search(P, seeds=range(10), max_factor=3.0).pattern
+        ours = run_factorization(pat, n_tiles, "cholesky")
+        label = f"{base_pat.nrows}x{base_pat.ncols} on {base_pat.nnodes} nodes"
+        print(f"{P:>3} | {label:<30} "
+              f"{ours.makespan:>10.3f}s {base.makespan / ours.makespan:>7.2f}x")
+
+
+if __name__ == "__main__":
+    study(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Distributed numeric factorizations with message accounting.
+
+Runs the *actual* tiled LU and Cholesky factorizations (real numpy
+tiles, bitwise-identical to scipy's factors) under different
+distributions, and shows that
+
+1. the distribution never changes the numeric result,
+2. the logged inter-node tile messages match the exact analytic count
+   and track the paper's closed forms (Equations 1-2).
+
+Run:  python examples/numerical_validation.py
+"""
+
+import numpy as np
+
+from repro import TileDistribution
+from repro.cost.exact import count_cholesky_messages, count_lu_messages
+from repro.cost.metrics import q_cholesky, q_lu
+from repro.dla import (
+    cholesky_residual,
+    diagonally_dominant,
+    execute_cholesky,
+    execute_lu,
+    lu_residual,
+    spd_matrix,
+)
+from repro.patterns import bc2d, g2dbc, gcrm_search, sbc
+
+
+def lu_demo() -> None:
+    n_tiles, tile = 16, 32
+    print(f"=== LU: {n_tiles}x{n_tiles} tiles of {tile}x{tile} "
+          f"({n_tiles * tile}x{n_tiles * tile} fp64) ===")
+    reference = diagonally_dominant(n_tiles, tile, seed=42)
+
+    for pattern in (bc2d(4, 4), bc2d(23, 1), g2dbc(23)):
+        mat = reference.copy()
+        dist = TileDistribution(pattern, n_tiles)
+        log = execute_lu(mat, dist)
+        res = lu_residual(reference, mat)
+        exact = count_lu_messages(dist)
+        predicted = q_lu(pattern, n_tiles)
+        assert log.n_messages == exact.total, "executor log must match analysis"
+        print(f"  {pattern.name:<28} residual {res:8.1e}   "
+              f"messages {log.n_messages:6d} (Eq.1 predicts {predicted:7.0f})")
+    print()
+
+
+def cholesky_demo() -> None:
+    n_tiles, tile = 16, 32
+    print(f"=== Cholesky: {n_tiles}x{n_tiles} tiles of {tile}x{tile} ===")
+    reference = spd_matrix(n_tiles, tile, seed=7)
+
+    gcrm_pat = gcrm_search(23, seeds=range(8), max_factor=3.0).pattern
+    for pattern in (bc2d(5, 5), sbc(21), gcrm_pat):
+        mat = reference.copy()
+        dist = TileDistribution(pattern, n_tiles, symmetric=True)
+        log = execute_cholesky(mat, dist)
+        res = cholesky_residual(reference, mat)
+        exact = count_cholesky_messages(dist)
+        predicted = q_cholesky(pattern, n_tiles)
+        assert log.n_messages == exact.total
+        print(f"  {pattern.name:<36} residual {res:8.1e}   "
+              f"messages {log.n_messages:6d} (Eq.2 predicts {predicted:7.0f})")
+    print()
+
+
+def determinism_demo() -> None:
+    print("=== Distribution does not change the numeric result ===")
+    ref = spd_matrix(10, 16, seed=3)
+    a, b = ref.copy(), ref.copy()
+    execute_cholesky(a)  # sequential
+    execute_cholesky(b, TileDistribution(sbc(10), 10, symmetric=True))
+    same = np.array_equal(np.tril(a.data), np.tril(b.data))
+    print(f"  sequential vs distributed factors identical: {same}")
+    assert same
+
+
+if __name__ == "__main__":
+    lu_demo()
+    cholesky_demo()
+    determinism_demo()

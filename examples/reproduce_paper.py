@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate the whole paper in one command.
+
+Runs every table/figure driver at the chosen scale and writes a
+Markdown report with ASCII renderings of each figure.
+
+Run:  python examples/reproduce_paper.py [smoke|default|full] [out.md]
+
+(`smoke` ≈ 1 min, `default` ≈ 5 min, `full` ≈ 15 min.)
+"""
+
+import sys
+
+from repro.experiments.report import generate_report
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    out = sys.argv[2] if len(sys.argv) > 2 else "reproduction_report.md"
+    text = generate_report(path=out, scale=scale)
+    print(text)
+    print(f"\nreport written to {out}")
+
+
+if __name__ == "__main__":
+    main()

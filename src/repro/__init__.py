@@ -1,0 +1,58 @@
+"""repro — data distribution schemes for dense linear algebra
+factorizations on any number of nodes.
+
+Reproduction of Beaumont, Collin, Eyraud-Dubois, Vérité,
+*"Data Distribution Schemes for Dense Linear Algebra Factorizations on
+Any Number of Nodes"*, IPDPS 2023 (hal-04013708).
+
+Public API highlights
+---------------------
+Patterns:
+    :func:`repro.patterns.bc2d`, :func:`repro.patterns.g2dbc`,
+    :func:`repro.patterns.sbc`, :func:`repro.patterns.gcrm_search`,
+    :func:`repro.patterns.best_pattern`
+Distribution & cost:
+    :class:`repro.TileDistribution`, :mod:`repro.cost`
+Tiled algorithms & runtime simulator:
+    :mod:`repro.dla`, :mod:`repro.runtime`
+Paper experiments:
+    :mod:`repro.experiments`
+"""
+
+from . import cost, dla, experiments, patterns, runtime, viz
+from .distribution import TileDistribution
+from .patterns import (
+    Pattern,
+    bc2d,
+    best_2dbc,
+    best_pattern,
+    g2dbc,
+    gcrm,
+    gcrm_search,
+    sbc,
+)
+from .runtime import ClusterSpec, paper_cluster, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cost",
+    "viz",
+    "dla",
+    "experiments",
+    "patterns",
+    "runtime",
+    "TileDistribution",
+    "Pattern",
+    "bc2d",
+    "best_2dbc",
+    "best_pattern",
+    "g2dbc",
+    "gcrm",
+    "gcrm_search",
+    "sbc",
+    "ClusterSpec",
+    "paper_cluster",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro pattern  --nodes 23 --kernel lu --show
+    python -m repro cost     --nodes 23 --tiles 100
+    python -m repro simulate --nodes 23 --tiles 48 --kernel lu
+    python -m repro db       --max-nodes 44 --kernel cholesky --out db.json
+    python -m repro validate --tiles 12 --kernel cholesky
+
+Each subcommand is a thin veneer over the library; everything it prints
+can be obtained programmatically from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .cost.metrics import q_cholesky, q_lu
+from .distribution import TileDistribution
+from .patterns.base import Pattern
+from .patterns.bc2d import bc2d_cost, best_grid
+from .patterns.g2dbc import g2dbc_cost
+from .patterns.io import save_database, save_pattern
+from .patterns.library import PATTERN_FAMILIES, PatternDatabase, best_pattern
+from .patterns.sbc import sbc_cost, sbc_feasible
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data distribution schemes for dense factorizations "
+                    "on any number of nodes (IPDPS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pattern", help="build and inspect a pattern")
+    p.add_argument("--nodes", "-P", type=int, required=True)
+    p.add_argument("--kernel", choices=("lu", "cholesky"), default="lu")
+    p.add_argument("--family", choices=sorted(PATTERN_FAMILIES), default=None)
+    p.add_argument("--seeds", type=int, default=20, help="GCR&M search budget")
+    p.add_argument("--show", action="store_true", help="print the grid")
+    p.add_argument("--save", metavar="FILE", default=None, help="write JSON")
+
+    p = sub.add_parser("cost", help="compare pattern families for one P")
+    p.add_argument("--nodes", "-P", type=int, required=True)
+    p.add_argument("--tiles", type=int, default=100,
+                   help="matrix size in tiles for volume predictions")
+    p.add_argument("--seeds", type=int, default=20)
+
+    p = sub.add_parser("simulate", help="simulate a factorization run")
+    p.add_argument("--nodes", "-P", type=int, required=True)
+    p.add_argument("--tiles", type=int, default=48)
+    p.add_argument("--kernel", choices=("lu", "cholesky"), default="lu")
+    p.add_argument("--family", choices=sorted(PATTERN_FAMILIES), default=None)
+    p.add_argument("--tile-size", type=int, default=500)
+    p.add_argument("--seeds", type=int, default=10)
+
+    p = sub.add_parser("db", help="precompute a pattern database")
+    p.add_argument("--max-nodes", type=int, required=True)
+    p.add_argument("--kernel", choices=("lu", "cholesky"), default="cholesky")
+    p.add_argument("--out", metavar="FILE", required=True)
+    p.add_argument("--seeds", type=int, default=20)
+
+    p = sub.add_parser("report", help="regenerate every paper table/figure")
+    p.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
+    p.add_argument("--out", metavar="FILE", default="reproduction_report.md")
+    p.add_argument("--only", nargs="*", default=None,
+                   help="experiment ids (e.g. fig4 table1b)")
+
+    p = sub.add_parser("validate", help="numeric factorization + message check")
+    p.add_argument("--tiles", type=int, default=10)
+    p.add_argument("--tile-size", type=int, default=16)
+    p.add_argument("--kernel", choices=("lu", "cholesky"), default="cholesky")
+    p.add_argument("--nodes", "-P", type=int, default=10)
+    return parser
+
+
+def _get_pattern(args) -> Pattern:
+    kw = {}
+    if getattr(args, "seeds", None) is not None:
+        kw["seeds"] = range(args.seeds)
+    return best_pattern(args.nodes, kernel=getattr(args, "kernel", "lu"),
+                        family=args.family, **kw)
+
+
+def cmd_pattern(args) -> int:
+    pat = _get_pattern(args)
+    kernel = args.kernel
+    print(f"pattern : {pat.name}")
+    print(f"shape   : {pat.nrows}x{pat.ncols}  (P = {pat.nnodes})")
+    print(f"T({kernel}) = {pat.cost(kernel):.4f}")
+    print(f"balanced: {pat.is_balanced} (imbalance {pat.load_imbalance():.3f})")
+    if args.show:
+        print(pat.to_text())
+    if args.save:
+        save_pattern(pat, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    P, n = args.nodes, args.tiles
+    r, c = best_grid(P)
+    print(f"P = {P}, matrix = {n}x{n} tiles")
+    print(f"{'family':<12} {'T_lu':>8} {'Q_lu':>12} {'T_chol':>8} {'Q_chol':>12}")
+    rows = [("2dbc", bc2d_cost(r, c, "lu"), bc2d_cost(r, c, "cholesky") if r == c else None),
+            ("g2dbc", g2dbc_cost(P), None)]
+    if sbc_feasible(P):
+        rows.append(("sbc", None, sbc_cost(P)))
+    from .patterns.gcrm import gcrm_search
+
+    try:
+        rows.append(("gcrm", None, gcrm_search(P, seeds=range(args.seeds)).cost))
+    except ValueError:
+        pass
+    for name, t_lu, t_chol in rows:
+        q1 = f"{q_lu_from_t(t_lu, n):>12.0f}" if t_lu is not None else f"{'-':>12}"
+        t1 = f"{t_lu:>8.3f}" if t_lu is not None else f"{'-':>8}"
+        q2 = f"{n * (n + 1) / 2 * (t_chol - 1):>12.0f}" if t_chol is not None else f"{'-':>12}"
+        t2 = f"{t_chol:>8.3f}" if t_chol is not None else f"{'-':>8}"
+        print(f"{name:<12} {t1} {q1} {t2} {q2}")
+    return 0
+
+
+def q_lu_from_t(t: float, n: int) -> float:
+    """Eq. 1 with the metric already aggregated: Q = n(n+1)/2 (T - 2)."""
+    return n * (n + 1) / 2 * (t - 2)
+
+
+def cmd_simulate(args) -> int:
+    from .experiments.harness import run_factorization
+
+    pat = _get_pattern(args)
+    trace = run_factorization(pat, args.tiles, args.kernel, tile_size=args.tile_size)
+    print(f"pattern    : {pat.name} (T = {pat.cost(args.kernel):.3f})")
+    for key, val in trace.summary().items():
+        print(f"{key:<20}: {val:,.4f}")
+    return 0
+
+
+def cmd_db(args) -> int:
+    db = PatternDatabase(kernel=args.kernel, seeds=args.seeds)
+    db.build(range(2, args.max_nodes + 1))
+    patterns = {P: db.get(P) for P in range(2, args.max_nodes + 1)}
+    save_database(patterns, args.out)
+    costs = db.costs()
+    print(f"wrote {len(patterns)} patterns to {args.out}")
+    print(f"cost range: {min(costs.values()):.3f} (P={min(costs)}) "
+          f"to {max(costs.values()):.3f} (P={max(costs)})")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    import numpy as np
+
+    if args.kernel == "cholesky":
+        from .cost.exact import count_cholesky_messages as count
+        from .dla import cholesky_residual as residual
+        from .dla import execute_cholesky as execute
+        from .dla import spd_matrix as gen
+        symmetric = True
+    else:
+        from .cost.exact import count_lu_messages as count
+        from .dla import diagonally_dominant as gen
+        from .dla import execute_lu as execute
+        from .dla import lu_residual as residual
+        symmetric = False
+
+    pat = best_pattern(args.nodes, kernel=args.kernel, seeds=range(10))
+    dist = TileDistribution(pat, args.tiles, symmetric=symmetric)
+    mat = gen(args.tiles, args.tile_size, seed=0)
+    orig = mat.copy()
+    log = execute(mat, dist)
+    res = residual(orig, mat)
+    exact = count(dist)
+    ok = log.n_messages == exact.total and res < 1e-10
+    print(f"pattern  : {pat.name}")
+    print(f"residual : {res:.2e}")
+    print(f"messages : executor {log.n_messages}, analytic {exact.total}")
+    print("OK" if ok else "MISMATCH")
+    return 0 if ok else 1
+
+
+def cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(path=args.out, scale=args.scale, only=args.only)
+    print(text)
+    print(f"\nreport written to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "pattern": cmd_pattern,
+    "report": cmd_report,
+    "cost": cmd_cost,
+    "simulate": cmd_simulate,
+    "db": cmd_db,
+    "validate": cmd_validate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

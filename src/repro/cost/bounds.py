@@ -1,0 +1,102 @@
+"""Communication lower bounds surveyed in Section II-A.
+
+Two families:
+
+* **pattern-level** bounds on the cost metric ``T(G)`` — any pattern on
+  ``P`` nodes needs at least ``ceil(sqrt(P))`` distinct nodes on (some)
+  rows *and* columns to touch all ``P`` nodes, giving ``T >= 2·sqrt(P)``
+  for LU and the empirical ``sqrt(3P/2)`` floor for symmetric patterns.
+
+* **memory-model** bounds (two-level memory of size ``M``), with the
+  explicit leading coefficients of IOLB [14], Kwasniewski et al. [2]
+  and Beaumont et al. [8].  Extended to the parallel setting with the
+  fair-distribution assumption ``M = m²/P``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lu_pattern_lower_bound",
+    "cholesky_pattern_floor",
+    "sbc_cost_curve",
+    "gemm_io_lower_bound",
+    "syrk_io_lower_bound",
+    "lu_io_lower_bound",
+    "lu_io_lower_bound_conflux",
+    "cholesky_io_lower_bound",
+    "cholesky_io_lower_bound_symmetric",
+    "parallel_per_node_bound",
+]
+
+
+# ---------------------------------------------------------------------------
+# pattern-level bounds on T(G)
+# ---------------------------------------------------------------------------
+def lu_pattern_lower_bound(P: int) -> float:
+    """``T(G) ≥ 2·√P`` — each row and column must expose at least
+    ``ceil(√P)`` nodes on average for all ``P`` nodes to appear."""
+    return 2.0 * math.sqrt(P)
+
+
+def cholesky_pattern_floor(P: int) -> float:
+    """Empirical floor ``√(3P/2)`` for symmetric patterns (Section V-B)."""
+    return math.sqrt(1.5 * P)
+
+
+def sbc_cost_curve(P: int, extended: bool = True) -> float:
+    """Cost growth of SBC patterns: ``√(2P)`` (basic) or ``√(2P) − 0.5``
+    (extended) — the reference curves of Figure 10."""
+    base = math.sqrt(2.0 * P)
+    return base - 0.5 if extended else base
+
+
+# ---------------------------------------------------------------------------
+# two-level-memory I/O bounds (volumes in matrix elements)
+# ---------------------------------------------------------------------------
+def gemm_io_lower_bound(m: int, n: int, k: int, M: float) -> float:
+    """``m·n·k / √M`` — GEMM bound with IOLB's explicit constant [14]."""
+    return m * n * k / math.sqrt(M)
+
+
+def syrk_io_lower_bound(m: int, n: int, M: float) -> float:
+    """``(1/√2)·m²n/√M`` — SYRK bound of Beaumont et al. [8]."""
+    return m * m * n / (math.sqrt(2.0) * math.sqrt(M))
+
+
+def lu_io_lower_bound(m: int, M: float) -> float:
+    """``(1/3)·m³/√M`` — IOLB's LU bound [14]."""
+    return m**3 / (3.0 * math.sqrt(M))
+
+
+def lu_io_lower_bound_conflux(m: int, M: float) -> float:
+    """``(2/3)·m³/√M`` — improved LU bound of Kwasniewski et al. [2]."""
+    return 2.0 * m**3 / (3.0 * math.sqrt(M))
+
+
+def cholesky_io_lower_bound(m: int, M: float) -> float:
+    """``(1/6)·m³/√M`` — IOLB's Cholesky bound [14]."""
+    return m**3 / (6.0 * math.sqrt(M))
+
+
+def cholesky_io_lower_bound_symmetric(m: int, M: float) -> float:
+    """``(1/(3√2))·m³/√M`` — symmetric-aware Cholesky bound [8]."""
+    return m**3 / (3.0 * math.sqrt(2.0) * math.sqrt(M))
+
+
+def parallel_per_node_bound(m: int, P: int, kernel: str = "gemm") -> float:
+    """Per-node volume bound under fair distribution ``M = m²/P``.
+
+    For matrix multiplication this is the classical ``Ω(m²/√P)`` of
+    Irony et al. [10]; factorizations inherit the same scaling with the
+    kernel-specific constants above.
+    """
+    M = m * m / P
+    if kernel == "gemm":
+        return m * m / math.sqrt(P)
+    if kernel == "lu":
+        return lu_io_lower_bound_conflux(m, M) / P
+    if kernel == "cholesky":
+        return cholesky_io_lower_bound_symmetric(m, M) / P
+    raise ValueError(f"unknown kernel {kernel!r}")

@@ -1,0 +1,70 @@
+"""Closed-form communication models of Section III.
+
+All volumes are expressed in *tiles sent* (each tile is one
+point-to-point message in the Chameleon/StarPU execution model, so the
+message count and the volume are proportional — Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..patterns.base import Pattern
+
+__all__ = [
+    "communication_cost",
+    "q_lu",
+    "q_cholesky",
+    "per_node_volume",
+    "CommModel",
+]
+
+
+def communication_cost(pattern: Pattern, kernel: str) -> float:
+    """The pattern-only cost metric ``T(G)`` of Section III-C."""
+    return pattern.cost(kernel)
+
+
+def q_lu(pattern: Pattern, m: int) -> float:
+    """Equation 1 — total tiles sent by an LU factorization of an
+    ``m × m`` *tile* matrix: ``m(m+1)/2 · (x̄ + ȳ − 2)``."""
+    xbar = pattern.mean_row_count
+    ybar = pattern.mean_col_count
+    return m * (m + 1) / 2.0 * (xbar + ybar - 2.0)
+
+
+def q_cholesky(pattern: Pattern, m: int) -> float:
+    """Equation 2 — total tiles sent by a Cholesky factorization of an
+    ``m × m`` tile matrix: ``m(m+1)/2 · (z̄ − 1)`` (square patterns)."""
+    return m * (m + 1) / 2.0 * (pattern.mean_colrow_count - 1.0)
+
+
+def per_node_volume(pattern: Pattern, m: int, kernel: str) -> float:
+    """Average tiles sent per node over the whole factorization."""
+    total = q_lu(pattern, m) if kernel == "lu" else q_cholesky(pattern, m)
+    return total / pattern.nnodes
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Convert tile counts into bytes / seconds for a machine model."""
+
+    tile_size: int = 500  #: tile edge, elements
+    dtype_bytes: int = 8  #: fp64
+    bandwidth_Bps: float = 12.5e9  #: 100 Gb/s OmniPath
+    latency_s: float = 1.5e-6
+
+    @property
+    def tile_bytes(self) -> int:
+        return self.tile_size * self.tile_size * self.dtype_bytes
+
+    def tile_time(self) -> float:
+        """Wire time of one tile message."""
+        return self.latency_s + self.tile_bytes / self.bandwidth_Bps
+
+    def volume_bytes(self, tiles_sent: float) -> float:
+        return tiles_sent * self.tile_bytes
+
+    def serial_time(self, tiles_sent: float) -> float:
+        """Time to push ``tiles_sent`` messages through one NIC."""
+        return tiles_sent * self.tile_time()

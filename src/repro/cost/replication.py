@@ -1,0 +1,100 @@
+"""Replication-based (2.5D / 3D) cost models — Section II-A related work.
+
+The paper's distributions are 2D: each tile lives on one node.  The
+related work it surveys (Irony-Toledo-Tiskin [10], Solomonik-Demmel
+[15], COnfLUX/COnfCHOX [2]) trades *memory* for *communication* by
+replicating the matrix over ``c`` layers of a ``√(P/c) × √(P/c) × c``
+grid.  This module provides the closed-form trade-off curves so the 2D
+patterns built here can be situated against the replication continuum:
+
+* GEMM volume per node: ``Q(c) ≈ 2·m² / √(c·P)`` (elements), memory
+  per node ``≈ c·m²/P`` — the classical 2.5D result; ``c = 1`` is 2D,
+  ``c = P^(1/3)`` is the 3D optimum.
+* LU (2.5D, [15]): ``Q(c) ≈ m²·(4/√(c·P) + c·log²(c)/m …)`` — we keep
+  the dominant ``∝ 1/√(cP)`` term with [15]'s constant.
+
+All formulas are *per node*, in matrix elements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = [
+    "gemm_volume_per_node",
+    "lu_volume_per_node",
+    "memory_per_node",
+    "max_useful_replication",
+    "replication_tradeoff",
+    "optimal_replication",
+]
+
+
+def _check(m: int, P: int, c: float) -> None:
+    if m <= 0 or P <= 0:
+        raise ValueError("m and P must be positive")
+    if not 1 <= c <= P:
+        raise ValueError(f"replication factor c={c} must be in [1, P]")
+
+
+def gemm_volume_per_node(m: int, P: int, c: float = 1.0) -> float:
+    """2.5D GEMM: ``2·m²/√(c·P)`` elements sent per node."""
+    _check(m, P, c)
+    return 2.0 * m * m / math.sqrt(c * P)
+
+
+def lu_volume_per_node(m: int, P: int, c: float = 1.0) -> float:
+    """2.5D LU (Solomonik & Demmel): dominant term ``4·m²/√(c·P)``."""
+    _check(m, P, c)
+    return 4.0 * m * m / math.sqrt(c * P)
+
+
+def memory_per_node(m: int, P: int, c: float = 1.0) -> float:
+    """Elements stored per node with ``c``-fold replication: ``c·m²/P``."""
+    _check(m, P, c)
+    return c * m * m / P
+
+
+def max_useful_replication(P: int) -> float:
+    """Beyond ``c = P^(1/3)`` extra copies stop reducing communication
+    (the 3D limit)."""
+    if P <= 0:
+        raise ValueError("P must be positive")
+    return P ** (1.0 / 3.0)
+
+
+def replication_tradeoff(m: int, P: int, kernel: str = "gemm",
+                         factors: List[float] | None = None) -> List[dict]:
+    """Volume/memory rows along the 2D → 3D continuum."""
+    if factors is None:
+        cmax = max(1.0, max_useful_replication(P))
+        factors = sorted({1.0, 2.0, 4.0, cmax})
+        factors = [c for c in factors if c <= P]
+    vol = gemm_volume_per_node if kernel == "gemm" else lu_volume_per_node
+    rows = []
+    for c in factors:
+        rows.append({
+            "c": c,
+            "volume_per_node": vol(m, P, c),
+            "memory_per_node": memory_per_node(m, P, c),
+            "volume_vs_2d": vol(m, P, c) / vol(m, P, 1.0),
+            "memory_vs_2d": float(c),
+        })
+    return rows
+
+
+def optimal_replication(m: int, P: int, memory_limit_elems: float,
+                        kernel: str = "gemm") -> float:
+    """Largest useful ``c`` fitting in ``memory_limit_elems`` per node.
+
+    Returns a value in ``[1, P^(1/3)]``; raises when even ``c = 1``
+    does not fit (the fair-distribution minimum ``m²/P``).
+    """
+    if memory_limit_elems < memory_per_node(m, P, 1.0):
+        raise ValueError(
+            f"memory limit {memory_limit_elems:.3g} below the c=1 "
+            f"footprint {memory_per_node(m, P, 1.0):.3g}"
+        )
+    c_mem = memory_limit_elems * P / (m * m)
+    return min(c_mem, max_useful_replication(P))

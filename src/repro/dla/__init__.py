@@ -1,0 +1,52 @@
+"""Tiled dense linear algebra: kernels, LU and Cholesky builders/executors."""
+
+from .cholesky import build_cholesky_graph, cholesky_task_count, execute_cholesky
+from .kernels import (
+    FLOPS,
+    cholesky_total_flops,
+    flops_gemm,
+    flops_getrf,
+    flops_potrf,
+    flops_syrk,
+    flops_trsm,
+    lu_total_flops,
+)
+from .gemm import build_gemm_graph, execute_gemm, gemm_task_count, q_gemm
+from .lu import MessageLog, build_lu_graph, execute_lu, lu_task_count
+from .syrk import build_syrk_graph, execute_syrk, q_syrk, syrk_task_count
+from .tiles import TiledMatrix, diagonally_dominant, random_matrix, spd_matrix
+from .verify import cholesky_residual, extract_lower, lu_residual, split_lu
+
+__all__ = [
+    "build_cholesky_graph",
+    "cholesky_task_count",
+    "execute_cholesky",
+    "build_lu_graph",
+    "build_gemm_graph",
+    "execute_gemm",
+    "gemm_task_count",
+    "q_gemm",
+    "execute_lu",
+    "lu_task_count",
+    "MessageLog",
+    "build_syrk_graph",
+    "execute_syrk",
+    "q_syrk",
+    "syrk_task_count",
+    "TiledMatrix",
+    "diagonally_dominant",
+    "random_matrix",
+    "spd_matrix",
+    "cholesky_residual",
+    "lu_residual",
+    "split_lu",
+    "extract_lower",
+    "FLOPS",
+    "flops_getrf",
+    "flops_potrf",
+    "flops_trsm",
+    "flops_gemm",
+    "flops_syrk",
+    "lu_total_flops",
+    "cholesky_total_flops",
+]

@@ -1,0 +1,131 @@
+"""Numeric tile kernels and their flop counts.
+
+These are the elementary sequential tasks of the tiled algorithms
+(each runs on one worker core in the execution model).  The flop
+counts are the standard LAPACK operation counts used to convert kernel
+work into simulated durations and to report GFlop/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cholesky as _cholesky
+from scipy.linalg import solve_triangular
+
+__all__ = [
+    "getrf_nopiv",
+    "potrf",
+    "trsm_right_upper",
+    "trsm_left_lower_unit",
+    "trsm_right_lower_trans",
+    "gemm_update",
+    "syrk_update",
+    "FLOPS",
+    "flops_getrf",
+    "flops_potrf",
+    "flops_trsm",
+    "flops_gemm",
+    "flops_syrk",
+    "lu_total_flops",
+    "cholesky_total_flops",
+]
+
+
+# ---------------------------------------------------------------------------
+# kernels (all in place on the written tile)
+# ---------------------------------------------------------------------------
+def getrf_nopiv(a: np.ndarray) -> None:
+    """LU factorization without pivoting, in place.
+
+    After the call ``a`` holds ``U`` in its upper triangle and the
+    strictly-lower part of unit-diagonal ``L``.
+    """
+    n = a.shape[0]
+    for k in range(n - 1):
+        piv = a[k, k]
+        if piv == 0.0:
+            raise ZeroDivisionError(f"zero pivot at position {k} (matrix needs pivoting)")
+        a[k + 1 :, k] /= piv
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+
+
+def potrf(a: np.ndarray) -> None:
+    """Cholesky ``A = L·Lᵀ`` in place: lower triangle gets ``L``.
+
+    The strictly-upper part is zeroed (Chameleon's lower-storage
+    convention: only the lower triangle is referenced downstream)."""
+    L = _cholesky(a, lower=True)
+    a[...] = L
+
+
+def trsm_right_upper(panel: np.ndarray, u: np.ndarray) -> None:
+    """``panel ← panel · U⁻¹`` with ``U`` upper triangular
+    (LU column-panel solve)."""
+    panel[...] = solve_triangular(u, panel.T, lower=False, trans="T").T
+
+
+def trsm_left_lower_unit(panel: np.ndarray, l: np.ndarray) -> None:
+    """``panel ← L⁻¹ · panel`` with ``L`` unit lower triangular
+    (LU row-panel solve).  ``l`` holds L's strictly-lower part."""
+    panel[...] = solve_triangular(l, panel, lower=True, unit_diagonal=True)
+
+
+def trsm_right_lower_trans(panel: np.ndarray, l: np.ndarray) -> None:
+    """``panel ← panel · L⁻ᵀ`` with ``L`` lower triangular
+    (Cholesky panel solve)."""
+    panel[...] = solve_triangular(l, panel.T, lower=True).T
+
+
+def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray, transpose_b: bool = False) -> None:
+    """``C ← C − A·B`` (or ``C − A·Bᵀ``)."""
+    if transpose_b:
+        c -= a @ b.T
+    else:
+        c -= a @ b
+
+
+def syrk_update(c: np.ndarray, a: np.ndarray) -> None:
+    """``C ← C − A·Aᵀ`` (symmetric rank-k update on a diagonal tile)."""
+    c -= a @ a.T
+
+
+# ---------------------------------------------------------------------------
+# flop counts (b = tile edge)
+# ---------------------------------------------------------------------------
+def flops_getrf(b: int) -> float:
+    return 2.0 * b**3 / 3.0
+
+
+def flops_potrf(b: int) -> float:
+    return b**3 / 3.0
+
+
+def flops_trsm(b: int) -> float:
+    return float(b**3)
+
+
+def flops_gemm(b: int) -> float:
+    return 2.0 * b**3
+
+
+def flops_syrk(b: int) -> float:
+    return float(b**3)
+
+
+FLOPS = {
+    "getrf": flops_getrf,
+    "potrf": flops_potrf,
+    "trsm": flops_trsm,
+    "gemm": flops_gemm,
+    "syrk": flops_syrk,
+}
+
+
+def lu_total_flops(m: int) -> float:
+    """Nominal LU flop count for an ``m × m`` element matrix: ``2m³/3``."""
+    return 2.0 * m**3 / 3.0
+
+
+def cholesky_total_flops(m: int) -> float:
+    """Nominal Cholesky flop count: ``m³/3``."""
+    return m**3 / 3.0

@@ -1,0 +1,142 @@
+"""Tiled SYRK — ``C ← C − A·Aᵀ`` with ``C`` symmetric (lower storage).
+
+SYRK is the paper's second symmetric kernel (Sections I, II-A): like
+Cholesky, each input panel tile ``A(i, l)`` is consumed by the whole
+*colrow* ``i`` of ``C``, so symmetric patterns (SBC, GCR&M) reduce its
+communication volume by the same ``√2`` factor over 2DBC.
+
+Unlike the factorizations, SYRK has no panel critical path: iteration
+``l`` uses column ``l`` of ``A`` to update every tile of ``C``, and all
+iterations are independent up to the per-tile accumulation order.  The
+communication closed form is exact up to diagonal effects:
+
+    Q_SYRK(G) = n · k · (z̄ − 1)
+
+for ``C`` of ``n × n`` tiles and ``A`` of ``n × k`` tiles (each of the
+``n·k`` input tiles is sent to the other ``z − 1`` nodes of its colrow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..distribution import TileDistribution
+from ..patterns.base import Pattern
+from ..runtime.graph import TaskGraph, TaskKind
+from .kernels import flops_gemm, flops_syrk, gemm_update, syrk_update
+from .lu import MessageLog, _Logger
+from .tiles import TiledMatrix
+
+__all__ = ["q_syrk", "build_syrk_graph", "execute_syrk", "syrk_task_count"]
+
+
+def q_syrk(pattern: Pattern, n_tiles: int, k_tiles: int) -> float:
+    """Closed-form SYRK communication volume (tiles sent)."""
+    return n_tiles * k_tiles * (pattern.mean_colrow_count - 1.0)
+
+
+def syrk_task_count(n: int, k: int) -> int:
+    """Tasks of the tiled SYRK: per iteration, n SYRK + n(n-1)/2 GEMM."""
+    return k * (n + n * (n - 1) // 2)
+
+
+def _input_owner(dist: TileDistribution, i: int, l: int) -> int:
+    """Owner of input tile ``A(i, l)``.
+
+    The input panel is co-located with the matching ``C`` colrow the
+    same way Cholesky panels are: ``A(i, l)`` lives with the owner of
+    the pattern cell ``(i mod r, l mod r)`` (mirrored/resolved by the
+    symmetric distribution).
+    """
+    return dist.owner(i, l % dist.n_tiles)
+
+
+def build_syrk_graph(
+    dist: TileDistribution, tile_size: int, k_tiles: int
+) -> Tuple[TaskGraph, np.ndarray, np.ndarray]:
+    """Build the SYRK task graph.
+
+    Returns ``(graph, c_home, a_home)`` where data ids ``0 .. n²-1``
+    are the ``C`` tiles and ``n² .. n² + n·k - 1`` the ``A`` tiles
+    (column-major in ``l``).
+    """
+    if not dist.symmetric:
+        raise ValueError("SYRK requires a symmetric distribution for C")
+    n = dist.n_tiles
+    own = dist.owners
+    graph = TaskGraph(n_data=n * n + n * k_tiles, nnodes=dist.nnodes)
+    f_syrk, f_gemm = flops_syrk(tile_size), flops_gemm(tile_size)
+
+    def dc(i: int, j: int) -> int:
+        return i * n + j
+
+    def da(i: int, l: int) -> int:
+        return n * n + l * n + i
+
+    for l in range(k_tiles):
+        for i in range(n):
+            graph.submit(TaskKind.SYRK, i, i, l, int(own[i, i]), f_syrk,
+                         (graph.current(dc(i, i)), graph.current(da(i, l))), dc(i, i))
+            for j in range(i):
+                graph.submit(TaskKind.GEMM, i, j, l, int(own[i, j]), f_gemm,
+                             (graph.current(dc(i, j)), graph.current(da(i, l)),
+                              graph.current(da(j, l))), dc(i, j))
+
+    c_home = own.reshape(-1).astype(np.int64)
+    a_home = np.empty(n * k_tiles, dtype=np.int64)
+    for l in range(k_tiles):
+        for i in range(n):
+            a_home[l * n + i] = _input_owner(dist, i, l)
+    return graph, np.concatenate([c_home, a_home]), a_home
+
+
+def execute_syrk(
+    c: TiledMatrix,
+    a: np.ndarray,
+    tile_size: int,
+    dist: Optional[TileDistribution] = None,
+) -> Optional[MessageLog]:
+    """Run ``C ← C − A·Aᵀ`` numerically on the lower triangle of ``C``.
+
+    ``a`` is the dense ``(n·b) × (k·b)`` input.  With a distribution,
+    inter-node tile messages are logged (input tiles pushed to the
+    remote owners of their colrow, once each).
+    """
+    n = c.n_tiles
+    b = tile_size
+    if a.shape[0] != n * b or a.shape[1] % b:
+        raise ValueError(f"input shape {a.shape} incompatible with C ({n} tiles of {b})")
+    k = a.shape[1] // b
+
+    log = _Logger(dist) if dist is not None else None
+
+    def a_tile(i: int, l: int) -> np.ndarray:
+        return a[i * b : (i + 1) * b, l * b : (l + 1) * b]
+
+    if log:
+        # input tiles are produced "at t=0" on their home nodes
+        for l in range(k):
+            for i in range(n):
+                log.holders[("A", i, l)] = {_input_owner(dist, i, l)}
+
+    def consume_input(i: int, l: int, by: tuple[int, int]) -> None:
+        node = dist.owner(*by)
+        held = log.holders[("A", i, l)]
+        if node not in held:
+            log.n_messages += 1
+            log.per_node[_input_owner(dist, i, l)] += 1  # home node sends
+            held.add(node)
+
+    for l in range(k):
+        for i in range(n):
+            if log:
+                consume_input(i, l, by=(i, i))
+            syrk_update(c.tile(i, i), a_tile(i, l))
+            for j in range(i):
+                if log:
+                    consume_input(i, l, by=(i, j))
+                    consume_input(j, l, by=(i, j))
+                gemm_update(c.tile(i, j), a_tile(i, l), a_tile(j, l), transpose_b=True)
+    return log.result() if log else None

@@ -1,0 +1,85 @@
+"""Tiled matrix storage and test-matrix generators."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TiledMatrix", "random_matrix", "diagonally_dominant", "spd_matrix"]
+
+
+class TiledMatrix:
+    """A square matrix viewed as an ``n × n`` grid of ``b × b`` tiles.
+
+    Tiles are views into one contiguous array, so kernels mutate the
+    matrix in place — exactly the storage model of Chameleon.
+    """
+
+    def __init__(self, data: np.ndarray, tile_size: int):
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] != data.shape[1]:
+            raise ValueError(f"need a square matrix, got shape {data.shape}")
+        if data.shape[0] % tile_size:
+            raise ValueError(
+                f"matrix size {data.shape[0]} is not a multiple of tile size {tile_size}"
+            )
+        self.data = data
+        self.tile_size = int(tile_size)
+        self.n_tiles = data.shape[0] // tile_size
+
+    @classmethod
+    def zeros(cls, n_tiles: int, tile_size: int) -> "TiledMatrix":
+        return cls(np.zeros((n_tiles * tile_size,) * 2), tile_size)
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """Writable view of tile ``(i, j)``."""
+        b = self.tile_size
+        return self.data[i * b : (i + 1) * b, j * b : (j + 1) * b]
+
+    def data_id(self, i: int, j: int) -> int:
+        """Integer datum id of tile ``(i, j)`` for task graphs."""
+        return i * self.n_tiles + j
+
+    def tile_coords(self, data_id: int) -> tuple[int, int]:
+        return divmod(data_id, self.n_tiles)
+
+    def copy(self) -> "TiledMatrix":
+        return TiledMatrix(self.data.copy(), self.tile_size)
+
+    @property
+    def size(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        return f"TiledMatrix({self.n_tiles}x{self.n_tiles} tiles of {self.tile_size})"
+
+
+def random_matrix(n_tiles: int, tile_size: int, seed: Optional[int] = None) -> TiledMatrix:
+    """Uniform random matrix (paper: "randomly generated matrices")."""
+    rng = np.random.default_rng(seed)
+    n = n_tiles * tile_size
+    return TiledMatrix(rng.uniform(-1.0, 1.0, (n, n)), tile_size)
+
+
+def diagonally_dominant(n_tiles: int, tile_size: int, seed: Optional[int] = None) -> TiledMatrix:
+    """Random matrix made strictly diagonally dominant.
+
+    LU without pivoting (the tiled GETRF of :mod:`repro.dla.lu`) is
+    numerically stable on such matrices, mirroring the common
+    benchmarking practice for no-pivoting tiled LU.
+    """
+    mat = random_matrix(n_tiles, tile_size, seed)
+    n = mat.size
+    mat.data[np.diag_indices(n)] += np.abs(mat.data).sum(axis=1) + 1.0
+    return mat
+
+
+def spd_matrix(n_tiles: int, tile_size: int, seed: Optional[int] = None) -> TiledMatrix:
+    """Symmetric positive-definite matrix for Cholesky."""
+    rng = np.random.default_rng(seed)
+    n = n_tiles * tile_size
+    a = rng.uniform(-1.0, 1.0, (n, n))
+    sym = (a + a.T) / 2.0
+    sym[np.diag_indices(n)] += n  # strong diagonal shift => SPD
+    return TiledMatrix(sym, tile_size)

@@ -1,0 +1,35 @@
+"""Numerical verification of the tiled factorizations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tiles import TiledMatrix
+
+__all__ = ["lu_residual", "cholesky_residual", "split_lu", "extract_lower"]
+
+
+def split_lu(factored: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split an in-place LU result into (unit-lower L, upper U)."""
+    L = np.tril(factored, -1) + np.eye(factored.shape[0])
+    U = np.triu(factored)
+    return L, U
+
+
+def extract_lower(factored: np.ndarray) -> np.ndarray:
+    """Lower-triangular Cholesky factor from an in-place result."""
+    return np.tril(factored)
+
+
+def lu_residual(original: TiledMatrix, factored: TiledMatrix) -> float:
+    """Relative reconstruction error ``‖L·U − A‖_F / ‖A‖_F``."""
+    L, U = split_lu(factored.data)
+    A = original.data
+    return float(np.linalg.norm(L @ U - A) / np.linalg.norm(A))
+
+
+def cholesky_residual(original: TiledMatrix, factored: TiledMatrix) -> float:
+    """Relative reconstruction error ``‖L·Lᵀ − A‖_F / ‖A‖_F``."""
+    L = extract_lower(factored.data)
+    A = original.data
+    return float(np.linalg.norm(L @ L.T - A) / np.linalg.norm(A))

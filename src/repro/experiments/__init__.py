@@ -1,0 +1,38 @@
+"""Experiment drivers reproducing the paper's tables and figures."""
+
+from .figures import (
+    FigureResult,
+    fig1_2dbc_shapes,
+    fig4_g2dbc_cost,
+    fig5_lu_p23,
+    fig6_lu_p39,
+    fig7a_strong_scaling_lu,
+    fig7b_strong_scaling_cholesky,
+    fig9_gcrm_size_effect,
+    fig10_symmetric_cost,
+    fig11_cholesky_p31,
+    fig12_cholesky_p35,
+    table1a_lu_patterns,
+    table1b_cholesky_patterns,
+)
+from .harness import ResultRow, format_rows, run_factorization, sweep
+
+__all__ = [
+    "FigureResult",
+    "ResultRow",
+    "format_rows",
+    "run_factorization",
+    "sweep",
+    "fig1_2dbc_shapes",
+    "fig4_g2dbc_cost",
+    "fig5_lu_p23",
+    "fig6_lu_p39",
+    "fig7a_strong_scaling_lu",
+    "fig7b_strong_scaling_cholesky",
+    "fig9_gcrm_size_effect",
+    "fig10_symmetric_cost",
+    "fig11_cholesky_p31",
+    "fig12_cholesky_p35",
+    "table1a_lu_patterns",
+    "table1b_cholesky_patterns",
+]

@@ -1,0 +1,136 @@
+"""Pattern analysis tools: communication structure beyond the scalar T.
+
+The cost metric ``T(G)`` (Section III-C) is an average; these helpers
+expose the distribution behind it — which nodes talk to which, how
+partner counts spread, and side-by-side comparisons — useful both for
+understanding why a pattern wins and for the paper's "further studies
+would be necessary" remarks about GCR&M's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import UNDEFINED, Pattern
+
+__all__ = [
+    "row_partners",
+    "col_partners",
+    "colrow_partners",
+    "partner_matrix",
+    "PatternSummary",
+    "summarize",
+    "compare",
+]
+
+
+def _sets_per_line(lines: Iterable[np.ndarray]) -> List[frozenset]:
+    out = []
+    for line in lines:
+        vals = line[line != UNDEFINED]
+        out.append(frozenset(int(v) for v in vals))
+    return out
+
+
+def row_partners(pattern: Pattern) -> Dict[int, frozenset]:
+    """For each node, the set of *other* nodes sharing a pattern row
+    with it (the receivers of its row-wise panel sends in LU)."""
+    partners: Dict[int, set] = {p: set() for p in range(pattern.nnodes)}
+    for nodes in _sets_per_line(iter(pattern.grid)):
+        for p in nodes:
+            partners[p].update(nodes - {p})
+    return {p: frozenset(s) for p, s in partners.items()}
+
+
+def col_partners(pattern: Pattern) -> Dict[int, frozenset]:
+    """Same as :func:`row_partners` for pattern columns."""
+    partners: Dict[int, set] = {p: set() for p in range(pattern.nnodes)}
+    for nodes in _sets_per_line(iter(pattern.grid.T)):
+        for p in nodes:
+            partners[p].update(nodes - {p})
+    return {p: frozenset(s) for p, s in partners.items()}
+
+
+def colrow_partners(pattern: Pattern) -> Dict[int, frozenset]:
+    """Partners along colrows (the symmetric-kernel communication set)."""
+    if not pattern.is_square:
+        raise ValueError("colrow partners require a square pattern")
+    partners: Dict[int, set] = {p: set() for p in range(pattern.nnodes)}
+    for i in range(pattern.nrows):
+        nodes = pattern.colrow_nodes(i)
+        for p in nodes:
+            partners[p].update(nodes - {p})
+    return {p: frozenset(s) for p, s in partners.items()}
+
+
+def partner_matrix(pattern: Pattern, kernel: str = "lu") -> np.ndarray:
+    """Boolean ``P × P`` adjacency: does node ``p`` ever send to ``q``?"""
+    if kernel == "lu":
+        parts = row_partners(pattern)
+        cols = col_partners(pattern)
+        for p, s in cols.items():
+            parts[p] = parts[p] | s
+    elif kernel == "cholesky":
+        parts = colrow_partners(pattern)
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}")
+    P = pattern.nnodes
+    mat = np.zeros((P, P), dtype=bool)
+    for p, s in parts.items():
+        for q in s:
+            mat[p, q] = True
+    return mat
+
+
+@dataclass(frozen=True)
+class PatternSummary:
+    """Scalar digest of a pattern's communication structure."""
+
+    name: str
+    nnodes: int
+    shape: Tuple[int, int]
+    cost_lu: float
+    cost_cholesky: float  #: nan for non-square patterns
+    balanced: bool
+    load_imbalance: float
+    mean_partners: float  #: average out-degree of the partner graph
+    max_partners: int
+
+    def as_row(self) -> dict:
+        return {
+            "name": self.name,
+            "P": self.nnodes,
+            "shape": f"{self.shape[0]}x{self.shape[1]}",
+            "T_lu": round(self.cost_lu, 3),
+            "T_chol": round(self.cost_cholesky, 3) if self.cost_cholesky == self.cost_cholesky else "-",
+            "balanced": self.balanced,
+            "imbalance": round(self.load_imbalance, 3),
+            "partners": round(self.mean_partners, 2),
+        }
+
+
+def summarize(pattern: Pattern, kernel: str = "lu") -> PatternSummary:
+    """Compute a :class:`PatternSummary` for one pattern."""
+    mat = partner_matrix(pattern, kernel if pattern.is_square or kernel == "lu" else "lu")
+    degrees = mat.sum(axis=1)
+    return PatternSummary(
+        name=pattern.name,
+        nnodes=pattern.nnodes,
+        shape=pattern.shape,
+        cost_lu=pattern.cost_lu,
+        cost_cholesky=pattern.cost_cholesky if pattern.is_square else float("nan"),
+        balanced=pattern.is_balanced,
+        load_imbalance=pattern.load_imbalance(),
+        mean_partners=float(degrees.mean()),
+        max_partners=int(degrees.max()),
+    )
+
+
+def compare(patterns: Sequence[Pattern], kernel: str = "lu") -> List[dict]:
+    """Side-by-side summaries, sorted by the kernel's cost metric."""
+    rows = [summarize(p, kernel).as_row() for p in patterns]
+    key = "T_lu" if kernel == "lu" else "T_chol"
+    return sorted(rows, key=lambda r: (r[key] == "-", r[key]))

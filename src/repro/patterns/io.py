@@ -1,0 +1,52 @@
+"""Pattern (de)serialization.
+
+Patterns are tiny (a few KB) and matrix-size independent, so they are a
+natural artifact to precompute and ship (the paper suggests a per-P
+database).  The JSON schema is:
+
+.. code-block:: json
+
+    {"name": "...", "nnodes": 23, "grid": [[0, 1], [2, -1]]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .base import Pattern
+
+__all__ = ["pattern_to_dict", "pattern_from_dict", "save_pattern", "load_pattern",
+           "save_database", "load_database"]
+
+
+def pattern_to_dict(pattern: Pattern) -> dict:
+    return {
+        "name": pattern.name,
+        "nnodes": pattern.nnodes,
+        "grid": pattern.grid.tolist(),
+    }
+
+
+def pattern_from_dict(data: dict) -> Pattern:
+    return Pattern(data["grid"], nnodes=data["nnodes"], name=data.get("name", ""))
+
+
+def save_pattern(pattern: Pattern, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(pattern_to_dict(pattern), indent=1))
+
+
+def load_pattern(path: Union[str, Path]) -> Pattern:
+    return pattern_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_database(patterns: Dict[int, Pattern], path: Union[str, Path]) -> None:
+    """Save a ``{P: pattern}`` database as one JSON file."""
+    payload = {str(P): pattern_to_dict(pat) for P, pat in sorted(patterns.items())}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_database(path: Union[str, Path]) -> Dict[int, Pattern]:
+    payload = json.loads(Path(path).read_text())
+    return {int(P): pattern_from_dict(d) for P, d in payload.items()}

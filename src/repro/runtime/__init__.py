@@ -1,0 +1,34 @@
+"""StarPU-like task-based distributed runtime simulator."""
+
+from .analysis import GraphBounds, MemoryStats, critical_path, makespan_bounds, memory_footprint
+from .cluster import ClusterSpec, paper_cluster
+from .graph import DataRef, Task, TaskGraph, TaskKind
+from .simulator import SimulationError, simulate
+from .stats import TraceStats, compute_stats, concurrency_profile, iteration_overlap
+from .trace import ExecutionTrace, TaskRecord
+from .tracefmt import save_chrome_trace, text_gantt, to_chrome_trace
+
+__all__ = [
+    "GraphBounds",
+    "MemoryStats",
+    "memory_footprint",
+    "save_chrome_trace",
+    "text_gantt",
+    "to_chrome_trace",
+    "critical_path",
+    "makespan_bounds",
+    "ClusterSpec",
+    "paper_cluster",
+    "DataRef",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "SimulationError",
+    "TraceStats",
+    "compute_stats",
+    "concurrency_profile",
+    "iteration_overlap",
+    "simulate",
+    "ExecutionTrace",
+    "TaskRecord",
+]

@@ -1,0 +1,180 @@
+"""Task-graph analysis: critical path and makespan lower bounds.
+
+These are the classical scheduling bounds: any execution of the DAG on
+the given cluster takes at least
+
+* the *work bound* — total flops over total compute capacity,
+* the *node-work bound* — the most loaded node's flops over its own
+  capacity (owner-computes pins tasks, so no stealing can help),
+* the *critical-path bound* — the longest dependency chain, counting
+  kernel durations and one message latency per cross-node edge.
+
+The simulator's makespan always dominates all three (asserted by the
+test-suite), and comparing measured makespans against them tells
+whether a run is compute-, balance- or dependency-limited — the paper's
+Figures 5-7 discussions in quantitative form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import ClusterSpec
+from .graph import TaskGraph
+
+__all__ = [
+    "GraphBounds",
+    "critical_path",
+    "makespan_bounds",
+    "MemoryStats",
+    "memory_footprint",
+]
+
+
+@dataclass(frozen=True)
+class GraphBounds:
+    """Makespan lower bounds for one (graph, cluster) pair."""
+
+    work_bound: float        #: total flops / aggregate capacity
+    node_work_bound: float   #: most loaded node's flops / its capacity
+    critical_path: float     #: longest chain incl. message delays
+    per_node_flops: np.ndarray
+
+    @property
+    def best(self) -> float:
+        return max(self.work_bound, self.node_work_bound, self.critical_path)
+
+    def limiting_factor(self, makespan: float) -> str:
+        """Name the bound closest to an observed makespan."""
+        gaps = {
+            "work": makespan - self.work_bound,
+            "node-balance": makespan - self.node_work_bound,
+            "critical-path": makespan - self.critical_path,
+        }
+        return min(gaps, key=gaps.get)  # type: ignore[arg-type]
+
+
+def critical_path(graph: TaskGraph, cluster: ClusterSpec) -> float:
+    """Length of the longest dependency chain.
+
+    Tasks are visited in submission order, which is a valid topological
+    order (a task can only read versions that already exist).  A
+    cross-node read adds one message time to the chain (the simulator
+    may add more under NIC contention, never less).
+    """
+    tasks = graph.tasks
+    if not tasks:
+        return 0.0
+    msg = cluster.message_time()
+    finish = np.zeros(len(tasks))
+    for t in tasks:
+        start = 0.0
+        for ref in t.reads:
+            ptid = graph.producer.get(ref)
+            if ptid is None:
+                continue
+            ready = finish[ptid]
+            if tasks[ptid].node != t.node:
+                ready += msg
+            start = max(start, ready)
+        finish[t.tid] = start + cluster.task_time(t.flops, t.node)
+    return float(finish.max())
+
+
+def makespan_bounds(graph: TaskGraph, cluster: ClusterSpec) -> GraphBounds:
+    """Compute all lower bounds for ``graph`` on ``cluster``."""
+    per_node = np.zeros(cluster.nnodes)
+    for t in graph.tasks:
+        per_node[t.node] += t.flops
+
+    total_capacity = cluster.total_speed() * cluster.core_flops
+    node_bound = 0.0
+    for node in range(cluster.nnodes):
+        speed = cluster.node_speeds[node] if cluster.node_speeds else 1.0
+        cap = cluster.cores_per_node * speed * cluster.core_flops
+        if per_node[node] > 0:
+            node_bound = max(node_bound, per_node[node] / cap)
+
+    return GraphBounds(
+        work_bound=graph.total_flops / total_capacity if total_capacity else 0.0,
+        node_work_bound=node_bound,
+        critical_path=critical_path(graph, cluster),
+        per_node_flops=per_node,
+    )
+
+
+@dataclass(frozen=True)
+class MemoryStats:
+    """Per-node memory requirements of an execution.
+
+    Distinguishes *owned* tiles (the node's share of the matrix, held
+    for the whole run) from *cached* remote tiles (received copies kept
+    by the runtime's data cache).  With no eviction — StarPU's default
+    for data that keeps being reused — the peak footprint is their sum.
+    The paper's Section II-A connects this M to the communication lower
+    bounds: fair distribution means owned ≈ m²/P tiles per node, and a
+    distribution with more row/column partners also caches more.
+    """
+
+    owned_tiles: np.ndarray
+    cached_tiles: np.ndarray
+    tile_bytes: int
+
+    @property
+    def peak_tiles(self) -> np.ndarray:
+        return self.owned_tiles + self.cached_tiles
+
+    @property
+    def peak_bytes(self) -> np.ndarray:
+        return self.peak_tiles * self.tile_bytes
+
+    def overhead(self) -> float:
+        """Cluster-wide cached-to-owned ratio (replication overhead)."""
+        total_owned = self.owned_tiles.sum()
+        return float(self.cached_tiles.sum() / total_owned) if total_owned else 0.0
+
+
+def memory_footprint(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    data_home: np.ndarray | None = None,
+) -> MemoryStats:
+    """Compute :class:`MemoryStats` for ``graph`` on ``cluster``.
+
+    ``data_home`` gives the initial owner of each datum; when omitted,
+    a datum is attributed to the node of its first writer, and data
+    that are never written (pure inputs) to their first reader.
+    """
+    n_data = graph.n_data
+    home = np.full(n_data, -1, dtype=np.int64)
+    if data_home is not None:
+        home[: len(data_home)] = data_home
+    for t in graph.tasks:
+        d = t.write[0]
+        if home[d] < 0:
+            home[d] = t.node
+    for t in graph.tasks:
+        for d, _ in t.reads:
+            if home[d] < 0:
+                home[d] = t.node
+
+    owned = np.zeros(cluster.nnodes, dtype=np.int64)
+    used = np.zeros(n_data, dtype=bool)
+    for t in graph.tasks:
+        used[t.write[0]] = True
+        for d, _ in t.reads:
+            used[d] = True
+    for d in range(n_data):
+        if used[d] and home[d] >= 0:
+            owned[home[d]] += 1
+
+    cached_sets: list[set] = [set() for _ in range(cluster.nnodes)]
+    for t in graph.tasks:
+        for d, _ in t.reads:
+            if home[d] >= 0 and home[d] != t.node:
+                cached_sets[t.node].add(d)
+    cached = np.array([len(s) for s in cached_sets], dtype=np.int64)
+    return MemoryStats(owned_tiles=owned, cached_tiles=cached,
+                       tile_bytes=cluster.tile_bytes)

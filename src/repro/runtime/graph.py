@@ -1,0 +1,179 @@
+"""Task-graph representation (StarPU-style sequential task flow).
+
+A :class:`TaskGraph` is built by submitting tasks in the sequential
+order of the algorithm (exactly how Chameleon submits to StarPU,
+Section II-C).  Each task reads a set of *data versions* and writes a
+new version of one datum; dependencies are inferred from these
+versions, never declared explicitly.  In-place updates (e.g. a GEMM
+accumulating into its output tile) read the previous version of the
+tile they write, which makes write-after-write ordering a special case
+of read-after-write.
+
+Data items are tiles, identified by an integer id; version 0 of every
+tile is the initial matrix content, resident on the tile's owner.
+Under the owner-computes rule every task runs on the node owning the
+tile it writes, so version-0 reads of the written tile are always
+local, and inter-node messages happen only for cross-tile reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TaskKind", "Task", "TaskGraph", "DataRef"]
+
+#: A (data_id, version) pair.
+DataRef = Tuple[int, int]
+
+
+class TaskKind(IntEnum):
+    """Kernel kinds; values double as intra-node scheduling priority
+    (lower value = more critical, scheduled first)."""
+
+    GETRF = 0
+    POTRF = 1
+    TRSM = 2
+    SYRK = 3
+    GEMM = 4
+
+
+@dataclass(frozen=True)
+class Task:
+    """One tile kernel invocation."""
+
+    tid: int
+    kind: TaskKind
+    i: int  #: tile row of the written tile
+    j: int  #: tile column of the written tile
+    k: int  #: iteration (panel index) this task belongs to
+    node: int  #: executing node (owner of the written tile)
+    flops: float
+    reads: Tuple[DataRef, ...]
+    write: DataRef
+
+    def __repr__(self) -> str:  # compact for traces
+        return f"{self.kind.name}({self.i},{self.j};k={self.k})@{self.node}"
+
+
+class TaskGraph:
+    """An append-only DAG of tile tasks with version-based dependencies."""
+
+    def __init__(self, n_data: int, nnodes: int):
+        self.n_data = n_data
+        self.nnodes = nnodes
+        self.tasks: List[Task] = []
+        #: producer task id of each written (data, version)
+        self.producer: Dict[DataRef, int] = {}
+        #: current version of each datum
+        self._version: List[int] = [0] * n_data
+        self.total_flops = 0.0
+
+    # ------------------------------------------------------------------
+    def version(self, data: int) -> int:
+        """Latest version of ``data``."""
+        return self._version[data]
+
+    def current(self, data: int) -> DataRef:
+        """Latest (data, version) reference for ``data``."""
+        return (data, self._version[data])
+
+    def submit(
+        self,
+        kind: TaskKind,
+        i: int,
+        j: int,
+        k: int,
+        node: int,
+        flops: float,
+        reads: Tuple[DataRef, ...],
+        write_data: int,
+    ) -> Task:
+        """Append a task that bumps ``write_data`` to a new version.
+
+        ``reads`` must already include the previous version of
+        ``write_data`` when the kernel updates it in place (all
+        factorization kernels do).
+        """
+        new_version = self._version[write_data] + 1
+        task = Task(
+            tid=len(self.tasks),
+            kind=kind,
+            i=i,
+            j=j,
+            k=k,
+            node=node,
+            flops=flops,
+            reads=reads,
+            write=(write_data, new_version),
+        )
+        self.tasks.append(task)
+        self._version[write_data] = new_version
+        self.producer[(write_data, new_version)] = task.tid
+        self.total_flops += flops
+        return task
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def dependencies(self, task: Task) -> List[int]:
+        """Task ids this task waits for (producers of its read versions)."""
+        deps = []
+        for ref in task.reads:
+            tid = self.producer.get(ref)
+            if tid is not None:
+                deps.append(tid)
+        return deps
+
+    def consumers_by_version(self) -> Dict[DataRef, set]:
+        """For each data version, the set of *nodes* that read it."""
+        out: Dict[DataRef, set] = {}
+        for task in self.tasks:
+            for ref in task.reads:
+                out.setdefault(ref, set()).add(task.node)
+        return out
+
+    def message_count(self) -> int:
+        """Number of inter-node messages the graph induces: one per
+        (data version, remote consumer node) pair — StarPU caches a
+        received version and never re-fetches it."""
+        total = 0
+        for ref, nodes in self.consumers_by_version().items():
+            producer_tid = self.producer.get(ref)
+            if producer_tid is None:
+                # initial version: resident on the owner == writer of v1,
+                # read only by local tasks (owner-computes); any remote
+                # reader would require an initial transfer.
+                home: Optional[int] = None
+                for t in self.tasks:
+                    if t.write[0] == ref[0]:
+                        home = t.node
+                        break
+                if home is None:
+                    continue
+                total += sum(1 for n in nodes if n != home)
+            else:
+                home = self.tasks[producer_tid].node
+                total += sum(1 for n in nodes if n != home)
+        return total
+
+    def validate(self) -> None:
+        """Structural sanity: versions are dense, producers exist,
+        every read refers to a version that exists when the task runs."""
+        seen: Dict[int, int] = {}
+        for task in self.tasks:
+            d, v = task.write
+            expected = seen.get(d, 0) + 1
+            if v != expected:
+                raise ValueError(f"task {task}: writes version {v}, expected {expected}")
+            for rd, rv in task.reads:
+                if rv > seen.get(rd, 0):
+                    raise ValueError(
+                        f"task {task}: reads ({rd},{rv}) before it is produced"
+                    )
+            seen[d] = v

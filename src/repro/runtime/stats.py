@@ -1,0 +1,118 @@
+"""Post-hoc execution statistics from task records.
+
+Answers the questions the paper's discussion sections raise about
+*why* a run is fast or slow: where core time goes (panel kernels vs
+updates), how much parallelism the schedule actually exposes, and how
+far iterations overlap (the no-global-synchronization benefit of the
+task-based model, Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .graph import TaskGraph, TaskKind
+from .trace import ExecutionTrace
+
+__all__ = ["TraceStats", "compute_stats", "concurrency_profile", "iteration_overlap"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate schedule statistics for one execution."""
+
+    time_by_kind: Dict[str, float]     #: total core-seconds per kernel kind
+    count_by_kind: Dict[str, int]
+    avg_parallelism: float             #: mean number of running tasks
+    peak_parallelism: int
+    max_iteration_overlap: int         #: max distinct iterations in flight
+    node_idle_fraction: np.ndarray     #: per-node idle core-time fraction
+
+    def busiest_kind(self) -> str:
+        return max(self.time_by_kind, key=self.time_by_kind.get)  # type: ignore[arg-type]
+
+
+def concurrency_profile(trace: ExecutionTrace) -> List[Tuple[float, int]]:
+    """Step function ``(time, #running tasks)`` over the execution."""
+    if trace.task_records is None:
+        raise ValueError("trace has no task records; simulate with record_tasks=True")
+    events: List[Tuple[float, int]] = []
+    for rec in trace.task_records:
+        events.append((rec.start, +1))
+        events.append((rec.end, -1))
+    events.sort()
+    profile = []
+    running = 0
+    for t, delta in events:
+        running += delta
+        if profile and profile[-1][0] == t:
+            profile[-1] = (t, running)
+        else:
+            profile.append((t, running))
+    return profile
+
+
+def iteration_overlap(trace: ExecutionTrace, graph: TaskGraph) -> int:
+    """Maximum number of distinct iterations simultaneously in flight.
+
+    A fork-join (MPI-style) execution would give 1; the task-based
+    model lets later panels start while earlier updates still run.
+    """
+    if trace.task_records is None:
+        raise ValueError("trace has no task records; simulate with record_tasks=True")
+    events: List[Tuple[float, int, int]] = []
+    for rec in trace.task_records:
+        k = graph.tasks[rec.tid].k
+        events.append((rec.start, 1, k))
+        events.append((rec.end, 0, k))
+    events.sort(key=lambda e: (e[0], e[1]))
+    active: Dict[int, int] = {}
+    best = 0
+    for _, is_start, k in events:
+        if is_start:
+            active[k] = active.get(k, 0) + 1
+            best = max(best, len(active))
+        else:
+            active[k] -= 1
+            if active[k] == 0:
+                del active[k]
+    return best
+
+
+def compute_stats(trace: ExecutionTrace, graph: TaskGraph) -> TraceStats:
+    """Compute :class:`TraceStats` (needs ``record_tasks=True``)."""
+    if trace.task_records is None:
+        raise ValueError("trace has no task records; simulate with record_tasks=True")
+
+    time_by_kind: Dict[str, float] = {}
+    count_by_kind: Dict[str, int] = {}
+    for rec in trace.task_records:
+        kind = graph.tasks[rec.tid].kind.name
+        time_by_kind[kind] = time_by_kind.get(kind, 0.0) + (rec.end - rec.start)
+        count_by_kind[kind] = count_by_kind.get(kind, 0) + 1
+
+    profile = concurrency_profile(trace)
+    avg = 0.0
+    peak = 0
+    for (t0, running), (t1, _) in zip(profile, profile[1:]):
+        avg += running * (t1 - t0)
+        peak = max(peak, running)
+    if profile:
+        peak = max(peak, profile[-1][1])
+    span = trace.makespan or 1.0
+    avg /= span
+
+    capacity = trace.makespan * trace.cluster.cores_per_node
+    idle = 1.0 - trace.busy_time / capacity if capacity > 0 else np.zeros_like(trace.busy_time)
+
+    return TraceStats(
+        time_by_kind=time_by_kind,
+        count_by_kind=count_by_kind,
+        avg_parallelism=avg,
+        peak_parallelism=peak,
+        max_iteration_overlap=iteration_overlap(trace, graph),
+        node_idle_fraction=idle,
+    )

@@ -1,0 +1,80 @@
+"""Execution traces and derived performance metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cluster import ClusterSpec
+
+__all__ = ["TaskRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Start/end of one executed task (optional detailed tracing)."""
+
+    tid: int
+    node: int
+    start: float
+    end: float
+
+
+@dataclass
+class ExecutionTrace:
+    """Outcome of one simulated run."""
+
+    cluster: ClusterSpec
+    makespan: float
+    total_flops: float
+    n_tasks: int
+    n_messages: int
+    bytes_sent: float
+    busy_time: np.ndarray  #: per-node total core-busy seconds
+    sent_messages: np.ndarray  #: per-node messages sent
+    task_records: Optional[List[TaskRecord]] = None
+    completion_times: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved GFlop/s (the paper's *total performance*)."""
+        return self.total_flops / self.makespan / 1e9 if self.makespan > 0 else 0.0
+
+    @property
+    def gflops_per_node(self) -> float:
+        """Per-node achieved GFlop/s (the paper's *performance per node*)."""
+        return self.gflops / self.cluster.nnodes
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of core time spent computing."""
+        cap = self.makespan * self.cluster.cores_per_node * self.cluster.nnodes
+        return float(self.busy_time.sum() / cap) if cap > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Achieved GFlop/s over the cluster peak."""
+        peak = self.cluster.node_flops * self.cluster.nnodes / 1e9
+        return self.gflops / peak if peak > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "makespan_s": self.makespan,
+            "gflops": self.gflops,
+            "gflops_per_node": self.gflops_per_node,
+            "utilization": self.utilization,
+            "parallel_efficiency": self.parallel_efficiency,
+            "n_tasks": float(self.n_tasks),
+            "n_messages": float(self.n_messages),
+            "gbytes_sent": self.bytes_sent / 1e9,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionTrace(makespan={self.makespan:.4f}s, "
+            f"gflops={self.gflops:.1f}, msgs={self.n_messages}, "
+            f"eff={self.parallel_efficiency:.1%})"
+        )

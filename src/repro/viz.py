@@ -1,0 +1,117 @@
+"""Terminal visualization helpers.
+
+The paper's figures are line charts (GFlop/s vs matrix size, cost vs
+P).  These helpers render the same series as ASCII so benchmarks and
+examples can show the *shape* of a figure directly in the terminal /
+CI logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["ascii_plot", "ascii_bars", "sparkline", "owner_heatmap"]
+
+_MARKERS = "ox+*#@%&"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[tuple]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot ``{label: [(x, y), ...]}`` as an ASCII scatter/line chart.
+
+    Each series gets its own marker; the legend maps markers to labels.
+    NaN points are skipped.
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+        if not (isinstance(y, float) and math.isnan(y))
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            if isinstance(y, float) and math.isnan(y):
+                continue
+            col = round((x - xmin) / (xmax - xmin) * (width - 1))
+            row = round((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{ymax:10.3g} |"
+        elif i == height - 1:
+            label = f"{ymin:10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 11 + f"{xmin:<10.4g}{' ' * max(0, width - 20)}{xmax:>10.4g}")
+    legend = "   ".join(f"{m}={label}" for (label, _), m in zip(series.items(), _MARKERS))
+    lines.append(f"{ylabel + '  ' if ylabel else ''}legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 50, title: str = "") -> str:
+    """Horizontal bar chart for ``{label: value}``."""
+    if not values:
+        return f"{title}\n(no data)"
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        n = 0 if vmax == 0 else round(v / vmax * width)
+        lines.append(f"{label:<{label_w}} | {'#' * n} {v:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a numeric series using block characters."""
+    vals = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    out = []
+    for v in values:
+        if isinstance(v, float) and math.isnan(v):
+            out.append(" ")
+        else:
+            out.append(_BLOCKS[min(7, int((v - lo) / span * 8))])
+    return "".join(out)
+
+
+def owner_heatmap(owners, max_size: int = 40, palette: Optional[str] = None) -> str:
+    """Render an owner matrix as a character grid (one char per node,
+    cycling through a 62-symbol palette; ``.`` for undefined)."""
+    import numpy as np
+
+    owners = np.asarray(owners)
+    if palette is None:
+        palette = ("0123456789abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+    step = max(1, math.ceil(max(owners.shape) / max_size))
+    sub = owners[::step, ::step]
+    lines = []
+    for row in sub:
+        lines.append("".join("." if v < 0 else palette[v % len(palette)] for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cluster import ClusterSpec
+
+
+@pytest.fixture
+def tiny_cluster():
+    """A small, fast cluster model for simulator tests: 1 GFlop/s cores,
+    1 GB/s links, zero-ish latency — easy mental arithmetic."""
+    def make(nnodes, cores=2, tile_size=10):
+        return ClusterSpec(
+            nnodes=nnodes,
+            cores_per_node=cores,
+            core_gflops=1.0,
+            bandwidth_Bps=1e9,
+            latency_s=0.0,
+            tile_size=tile_size,
+        )
+    return make
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,76 @@
+"""Tests for the Section II-A lower bounds."""
+
+import math
+
+import pytest
+
+from repro.cost.bounds import (
+    cholesky_io_lower_bound,
+    cholesky_io_lower_bound_symmetric,
+    cholesky_pattern_floor,
+    gemm_io_lower_bound,
+    lu_io_lower_bound,
+    lu_io_lower_bound_conflux,
+    lu_pattern_lower_bound,
+    parallel_per_node_bound,
+    sbc_cost_curve,
+    syrk_io_lower_bound,
+)
+from repro.patterns.g2dbc import g2dbc_cost
+from repro.patterns.sbc import sbc_cost, sbc_feasible
+
+
+class TestPatternBounds:
+    def test_lu_bound_value(self):
+        assert lu_pattern_lower_bound(16) == 8.0
+
+    def test_g2dbc_respects_lu_bound_asymptotically(self):
+        # T(P) ≥ 2√P − o(1); G-2DBC sits within 2/√P of the bound
+        for P in range(2, 200):
+            assert g2dbc_cost(P) >= lu_pattern_lower_bound(P) - 1e-9
+
+    def test_sbc_matches_its_curve(self):
+        for P in (21, 28, 36, 45):  # triangle family
+            assert sbc_cost(P) == pytest.approx(sbc_cost_curve(P, extended=True), abs=0.05)
+        for P in (18, 32, 50):  # square family
+            assert sbc_cost(P) == pytest.approx(sbc_cost_curve(P, extended=False), abs=0.26)
+
+    def test_cholesky_floor_below_sbc(self):
+        for P in (10, 21, 32, 45):
+            assert cholesky_pattern_floor(P) < sbc_cost_curve(P, extended=True)
+
+    def test_floor_value(self):
+        assert cholesky_pattern_floor(6) == 3.0
+
+
+class TestIOBounds:
+    def test_gemm_hong_kung(self):
+        assert gemm_io_lower_bound(10, 10, 10, 4) == 1000 / 2
+
+    def test_syrk_smaller_than_gemm(self):
+        # symmetry halves the bound by sqrt(2)
+        assert syrk_io_lower_bound(10, 10, 4) == pytest.approx(
+            gemm_io_lower_bound(10, 10, 10, 4) / math.sqrt(2)
+        )
+
+    def test_lu_conflux_twice_iolb(self):
+        assert lu_io_lower_bound_conflux(8, 4) == 2 * lu_io_lower_bound(8, 4)
+
+    def test_cholesky_half_of_lu(self):
+        assert cholesky_io_lower_bound(8, 4) == lu_io_lower_bound(8, 4) / 2
+
+    def test_symmetric_cholesky_improves(self):
+        assert cholesky_io_lower_bound_symmetric(8, 4) > cholesky_io_lower_bound(8, 4)
+        assert cholesky_io_lower_bound_symmetric(8, 4) < lu_io_lower_bound_conflux(8, 4)
+
+    def test_parallel_gemm_scaling(self):
+        # Irony et al.: Ω(m²/√P)
+        assert parallel_per_node_bound(100, 4, "gemm") == 100 * 100 / 2
+
+    def test_parallel_kernels(self):
+        for k in ("gemm", "lu", "cholesky"):
+            assert parallel_per_node_bound(64, 16, k) > 0
+
+    def test_parallel_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            parallel_per_node_bound(64, 16, "qr")

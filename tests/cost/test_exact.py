@@ -1,0 +1,109 @@
+"""Tests for exact message counting vs the closed forms and executors."""
+
+import numpy as np
+import pytest
+
+from repro.cost.exact import count_cholesky_messages, count_lu_messages
+from repro.cost.metrics import q_cholesky, q_lu
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import execute_cholesky
+from repro.dla.lu import execute_lu
+from repro.dla.tiles import diagonally_dominant, spd_matrix
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import gcrm
+from repro.patterns.sbc import sbc
+
+
+class TestLuCounting:
+    def test_single_node_no_messages(self):
+        dist = TileDistribution(bc2d(1, 1), 6)
+        cc = count_lu_messages(dist)
+        assert cc.total == 0
+
+    def test_breakdown_sums(self):
+        dist = TileDistribution(bc2d(2, 3), 9)
+        cc = count_lu_messages(dist)
+        assert cc.total == cc.panel + cc.trsm
+        assert cc.per_iteration.sum() == cc.total
+        assert cc.per_node_sent.sum() == cc.total
+
+    def test_closed_form_is_upper_estimate(self):
+        """Eq 1 neglects end-of-matrix shrinking, so it over-counts."""
+        for pat, n in [(bc2d(2, 3), 12), (bc2d(4, 4), 16), (g2dbc(10), 20)]:
+            dist = TileDistribution(pat, n)
+            cc = count_lu_messages(dist)
+            assert cc.trsm <= q_lu(pat, n)
+
+    def test_closed_form_converges(self):
+        """Relative gap to Eq 1 shrinks as the matrix grows."""
+        pat = bc2d(3, 4)
+        gaps = []
+        for n in (12, 24, 48):
+            cc = count_lu_messages(TileDistribution(pat, n))
+            gaps.append(abs(q_lu(pat, n) - cc.trsm) / q_lu(pat, n))
+        assert gaps[2] < gaps[0]
+        assert gaps[2] < 0.2
+
+    def test_rejects_symmetric(self):
+        with pytest.raises(ValueError):
+            count_lu_messages(TileDistribution(bc2d(2, 2), 4, symmetric=True))
+
+    def test_matches_numeric_executor(self):
+        for pat, n in [(bc2d(2, 3), 8), (g2dbc(7), 10)]:
+            dist = TileDistribution(pat, n)
+            cc = count_lu_messages(dist)
+            log = execute_lu(diagonally_dominant(n, 4, seed=0), dist)
+            assert log.n_messages == cc.total
+            assert (log.per_node_sent == cc.per_node_sent).all()
+
+
+class TestCholeskyCounting:
+    def test_single_node_no_messages(self):
+        dist = TileDistribution(bc2d(1, 1), 6, symmetric=True)
+        assert count_cholesky_messages(dist).total == 0
+
+    def test_breakdown_sums(self):
+        dist = TileDistribution(sbc(10), 12, symmetric=True)
+        cc = count_cholesky_messages(dist)
+        assert cc.total == cc.panel + cc.trsm
+        assert cc.per_iteration.sum() == cc.total
+        assert cc.per_node_sent.sum() == cc.total
+
+    def test_closed_form_approximates(self):
+        """Eq 2 is a leading-order estimate: domain shrinking makes it
+        over-count, while edge tiles whose sender falls outside the
+        trailing colrow make it under-count; both are O(r/n) effects."""
+        for pat, n in [(sbc(10), 15), (bc2d(3, 3), 12)]:
+            dist = TileDistribution(pat, n, symmetric=True)
+            cc = count_cholesky_messages(dist)
+            assert cc.trsm == pytest.approx(q_cholesky(pat, n), rel=0.35)
+
+    def test_closed_form_converges(self):
+        pat = sbc(10)
+        gaps = []
+        for n in (10, 20, 40):
+            cc = count_cholesky_messages(TileDistribution(pat, n, symmetric=True))
+            gaps.append(abs(q_cholesky(pat, n) - cc.trsm) / q_cholesky(pat, n))
+        assert gaps[2] < gaps[0]
+        assert gaps[2] < 0.25
+
+    def test_rejects_full(self):
+        with pytest.raises(ValueError):
+            count_cholesky_messages(TileDistribution(bc2d(2, 2), 4))
+
+    def test_matches_numeric_executor(self):
+        for pat, n in [(sbc(10), 9), (bc2d(3, 3), 8), (gcrm(7, 6, seed=1).pattern, 9)]:
+            dist = TileDistribution(pat, n, symmetric=True)
+            cc = count_cholesky_messages(dist)
+            log = execute_cholesky(spd_matrix(n, 4, seed=0), dist)
+            assert log.n_messages == cc.total
+            assert (log.per_node_sent == cc.per_node_sent).all()
+
+    def test_sbc_fewer_messages_than_square_2dbc(self):
+        """The symmetric construction pays off: SBC(36) vs 6x6 2DBC —
+        same node count, ~sqrt(2) fewer messages (Section I)."""
+        n = 27
+        sbc_cc = count_cholesky_messages(TileDistribution(sbc(36), n, symmetric=True))
+        bc_cc = count_cholesky_messages(TileDistribution(bc2d(6, 6), n, symmetric=True))
+        assert sbc_cc.total < bc_cc.total

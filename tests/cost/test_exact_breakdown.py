@@ -1,0 +1,79 @@
+"""Deeper tests of the exact-counting breakdowns (per-iteration series,
+panel vs TRSM split) — the data behind the Section III model checks."""
+
+import numpy as np
+import pytest
+
+from repro.cost.exact import count_cholesky_messages, count_lu_messages
+from repro.distribution import TileDistribution
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.sbc import sbc
+
+
+class TestLuBreakdown:
+    def test_last_iteration_sends_nothing(self):
+        cc = count_lu_messages(TileDistribution(bc2d(2, 3), 9))
+        assert cc.per_iteration[-1] == 0
+
+    def test_early_iterations_dominate(self):
+        """Message volume decays with the trailing-matrix size."""
+        cc = count_lu_messages(TileDistribution(bc2d(3, 4), 24))
+        first_half = cc.per_iteration[:12].sum()
+        second_half = cc.per_iteration[12:].sum()
+        assert first_half > 2 * second_half
+
+    def test_panel_term_subdominant(self):
+        """The GETRF-broadcast term is O(m) vs the O(m²) TRSM term."""
+        small = count_lu_messages(TileDistribution(bc2d(3, 4), 12))
+        large = count_lu_messages(TileDistribution(bc2d(3, 4), 36))
+        assert large.panel / large.trsm < small.panel / small.trsm
+
+    def test_per_node_nonnegative_and_complete(self):
+        cc = count_lu_messages(TileDistribution(g2dbc(7), 10))
+        assert (cc.per_node_sent >= 0).all()
+        assert cc.per_node_sent.sum() == cc.total
+
+    def test_g2dbc_spreads_send_load(self):
+        """With 23x1 the panel column owner broadcasts to everyone;
+        G-2DBC's per-node send load is far flatter."""
+        n = 12
+        bad = count_lu_messages(TileDistribution(bc2d(23, 1), n))
+        good = count_lu_messages(TileDistribution(g2dbc(23), n))
+        assert good.per_node_sent.max() < bad.per_node_sent.max()
+
+
+class TestCholeskyBreakdown:
+    def test_last_iteration_sends_nothing(self):
+        cc = count_cholesky_messages(TileDistribution(sbc(10), 9, symmetric=True))
+        assert cc.per_iteration[-1] == 0
+
+    def test_series_length(self):
+        cc = count_cholesky_messages(TileDistribution(sbc(10), 14, symmetric=True))
+        assert len(cc.per_iteration) == 14
+
+    def test_total_consistency(self):
+        cc = count_cholesky_messages(TileDistribution(sbc(21), 16, symmetric=True))
+        assert cc.total == cc.panel + cc.trsm == cc.per_iteration.sum()
+
+    def test_monotone_in_matrix_size(self):
+        dist_small = TileDistribution(sbc(10), 8, symmetric=True)
+        dist_large = TileDistribution(sbc(10), 16, symmetric=True)
+        assert count_cholesky_messages(dist_large).total > \
+            count_cholesky_messages(dist_small).total
+
+    def test_cost_metric_predicts_ordering(self):
+        """Among same-P square patterns, lower z̄ ⇒ fewer exact messages
+        (the whole premise of the T metric)."""
+        n = 18
+        from repro.patterns.gcrm import gcrm
+        from repro.patterns.sts import sts_pattern
+
+        a = sts_pattern(15)                   # T = 7.0
+        b = gcrm(35, 15, seed=0).pattern      # T >= 7.0
+        ca = count_cholesky_messages(TileDistribution(a, n, symmetric=True))
+        cb = count_cholesky_messages(TileDistribution(b, n, symmetric=True))
+        if b.cost_cholesky > a.cost_cholesky + 0.3:
+            assert ca.total < cb.total
+        else:
+            assert ca.total == pytest.approx(cb.total, rel=0.2)

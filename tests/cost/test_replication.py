@@ -1,0 +1,75 @@
+"""Tests for the 2.5D/3D replication cost models."""
+
+import math
+
+import pytest
+
+from repro.cost.replication import (
+    gemm_volume_per_node,
+    lu_volume_per_node,
+    max_useful_replication,
+    memory_per_node,
+    optimal_replication,
+    replication_tradeoff,
+)
+
+
+class TestVolumes:
+    def test_2d_gemm_matches_irony(self):
+        # c = 1 recovers the classical 2m²/√P
+        assert gemm_volume_per_node(100, 16) == 2 * 100 * 100 / 4
+
+    def test_replication_reduces_volume_sqrt(self):
+        v1 = gemm_volume_per_node(100, 16, 1.0)
+        v4 = gemm_volume_per_node(100, 16, 4.0)
+        assert v4 == pytest.approx(v1 / 2)
+
+    def test_lu_double_gemm(self):
+        assert lu_volume_per_node(64, 9, 1) == 2 * gemm_volume_per_node(64, 9, 1)
+
+    def test_memory_linear_in_c(self):
+        assert memory_per_node(100, 10, 3.0) == 3 * memory_per_node(100, 10, 1.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            gemm_volume_per_node(0, 4)
+        with pytest.raises(ValueError):
+            gemm_volume_per_node(10, 4, 0.5)
+        with pytest.raises(ValueError):
+            gemm_volume_per_node(10, 4, 8.0)
+
+
+class TestTradeoff:
+    def test_3d_limit(self):
+        assert max_useful_replication(27) == pytest.approx(3.0)
+
+    def test_rows_monotone(self):
+        rows = replication_tradeoff(1000, 64, "gemm")
+        vols = [r["volume_per_node"] for r in rows]
+        mems = [r["memory_per_node"] for r in rows]
+        assert vols == sorted(vols, reverse=True)
+        assert mems == sorted(mems)
+
+    def test_c1_normalized(self):
+        rows = replication_tradeoff(500, 27, "lu")
+        assert rows[0]["c"] == 1.0
+        assert rows[0]["volume_vs_2d"] == 1.0
+
+    def test_explicit_factors(self):
+        rows = replication_tradeoff(100, 100, factors=[1.0, 2.5])
+        assert [r["c"] for r in rows] == [1.0, 2.5]
+
+
+class TestOptimalReplication:
+    def test_unlimited_memory_gives_3d(self):
+        c = optimal_replication(100, 64, memory_limit_elems=1e12)
+        assert c == pytest.approx(max_useful_replication(64))
+
+    def test_memory_limited(self):
+        m, P = 1000, 64
+        limit = 2 * m * m / P  # room for exactly 2 copies
+        assert optimal_replication(m, P, limit) == pytest.approx(2.0)
+
+    def test_too_little_memory_raises(self):
+        with pytest.raises(ValueError, match="memory limit"):
+            optimal_replication(1000, 4, memory_limit_elems=10.0)

@@ -1,0 +1,151 @@
+"""Tests for the numeric tile kernels against scipy/numpy references."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.dla.kernels import (
+    FLOPS,
+    cholesky_total_flops,
+    flops_gemm,
+    flops_getrf,
+    flops_potrf,
+    flops_syrk,
+    flops_trsm,
+    gemm_update,
+    getrf_nopiv,
+    lu_total_flops,
+    potrf,
+    syrk_update,
+    trsm_left_lower_unit,
+    trsm_right_lower_trans,
+    trsm_right_upper,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestGetrf:
+    def test_reconstruction(self, rng):
+        a = rng.uniform(-1, 1, (8, 8))
+        a[np.diag_indices(8)] += 10.0
+        orig = a.copy()
+        getrf_nopiv(a)
+        L = np.tril(a, -1) + np.eye(8)
+        U = np.triu(a)
+        assert np.allclose(L @ U, orig, atol=1e-12)
+
+    def test_zero_pivot_raises(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(ZeroDivisionError):
+            getrf_nopiv(a)
+
+    def test_matches_scipy_on_dominant(self, rng):
+        a = rng.uniform(-1, 1, (6, 6)) + 10 * np.eye(6)
+        mine = a.copy()
+        getrf_nopiv(mine)
+        # scipy lu with no pivoting occurring (diag dominant keeps P = I)
+        p, l, u = scipy.linalg.lu(a)
+        assert np.allclose(p, np.eye(6))
+        assert np.allclose(np.triu(mine), u, atol=1e-10)
+
+
+class TestPotrf:
+    def test_reconstruction(self, rng):
+        a = rng.uniform(-1, 1, (6, 6))
+        a = (a + a.T) / 2 + 6 * np.eye(6)
+        orig = a.copy()
+        potrf(a)
+        assert np.allclose(a @ a.T, orig, atol=1e-12)
+        assert np.allclose(a, np.tril(a))  # upper part zeroed
+
+    def test_matches_scipy(self, rng):
+        a = rng.uniform(-1, 1, (5, 5))
+        a = a @ a.T + 5 * np.eye(5)
+        mine = a.copy()
+        potrf(mine)
+        assert np.allclose(mine, scipy.linalg.cholesky(a, lower=True))
+
+
+class TestTrsms:
+    def test_right_upper(self, rng):
+        u = np.triu(rng.uniform(1, 2, (5, 5)))
+        b = rng.uniform(-1, 1, (5, 5))
+        x = b.copy()
+        trsm_right_upper(x, u)
+        assert np.allclose(x @ u, b, atol=1e-10)
+
+    def test_left_lower_unit(self, rng):
+        l = np.tril(rng.uniform(-1, 1, (5, 5)), -1) + np.eye(5) * 99  # diag ignored
+        b = rng.uniform(-1, 1, (5, 5))
+        x = b.copy()
+        trsm_left_lower_unit(x, l)
+        L = np.tril(l, -1) + np.eye(5)
+        assert np.allclose(L @ x, b, atol=1e-10)
+
+    def test_right_lower_trans(self, rng):
+        l = np.tril(rng.uniform(1, 2, (5, 5)))
+        b = rng.uniform(-1, 1, (5, 5))
+        x = b.copy()
+        trsm_right_lower_trans(x, l)
+        assert np.allclose(x @ l.T, b, atol=1e-10)
+
+
+class TestUpdates:
+    def test_gemm(self, rng):
+        a, b, c = (rng.uniform(-1, 1, (4, 4)) for _ in range(3))
+        out = c.copy()
+        gemm_update(out, a, b)
+        assert np.allclose(out, c - a @ b)
+
+    def test_gemm_transpose(self, rng):
+        a, b, c = (rng.uniform(-1, 1, (4, 4)) for _ in range(3))
+        out = c.copy()
+        gemm_update(out, a, b, transpose_b=True)
+        assert np.allclose(out, c - a @ b.T)
+
+    def test_syrk(self, rng):
+        a = rng.uniform(-1, 1, (4, 4))
+        c = rng.uniform(-1, 1, (4, 4))
+        out = c.copy()
+        syrk_update(out, a)
+        assert np.allclose(out, c - a @ a.T)
+
+
+class TestFlopCounts:
+    def test_ratios(self):
+        b = 10
+        assert flops_gemm(b) == 2 * flops_trsm(b)
+        assert flops_getrf(b) == 2 * flops_potrf(b)
+        assert flops_syrk(b) == flops_trsm(b)
+
+    def test_registry(self):
+        assert set(FLOPS) == {"getrf", "potrf", "trsm", "gemm", "syrk"}
+        assert FLOPS["gemm"](5) == 250.0
+
+    def test_totals(self):
+        assert lu_total_flops(30) == 2 * 30**3 / 3
+        assert cholesky_total_flops(30) == 30**3 / 3
+
+    def test_tiled_lu_flops_approach_total(self):
+        """Sum of tile-kernel flops ≈ nominal total for large n."""
+        from repro.dla.kernels import flops_gemm, flops_getrf, flops_trsm
+
+        n, b = 20, 10
+        total = 0.0
+        for k in range(n):
+            total += flops_getrf(b) + 2 * (n - 1 - k) * flops_trsm(b)
+            total += (n - 1 - k) ** 2 * flops_gemm(b)
+        assert total == pytest.approx(lu_total_flops(n * b), rel=0.15)
+
+    def test_tiled_cholesky_flops_approach_total(self):
+        n, b = 20, 10
+        total = 0.0
+        for k in range(n):
+            t = n - 1 - k
+            total += flops_potrf(b) + t * flops_trsm(b) + t * flops_syrk(b)
+            total += t * (t - 1) / 2 * flops_gemm(b)
+        assert total == pytest.approx(cholesky_total_flops(n * b), rel=0.15)

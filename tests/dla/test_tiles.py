@@ -1,0 +1,59 @@
+"""Tests for tiled matrix storage and generators."""
+
+import numpy as np
+import pytest
+
+from repro.dla.tiles import TiledMatrix, diagonally_dominant, random_matrix, spd_matrix
+
+
+class TestTiledMatrix:
+    def test_tile_is_view(self):
+        m = TiledMatrix.zeros(3, 4)
+        m.tile(1, 2)[:] = 7.0
+        assert (m.data[4:8, 8:12] == 7.0).all()
+        assert m.data.sum() == 7.0 * 16
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError, match="square"):
+            TiledMatrix(np.zeros((4, 6)), 2)
+        with pytest.raises(ValueError, match="multiple"):
+            TiledMatrix(np.zeros((5, 5)), 2)
+
+    def test_data_id_round_trip(self):
+        m = TiledMatrix.zeros(5, 2)
+        for i in range(5):
+            for j in range(5):
+                assert m.tile_coords(m.data_id(i, j)) == (i, j)
+
+    def test_copy_is_deep(self):
+        m = random_matrix(2, 3, seed=0)
+        c = m.copy()
+        c.tile(0, 0)[:] = 0.0
+        assert not np.allclose(m.tile(0, 0), 0.0)
+
+    def test_size(self):
+        assert TiledMatrix.zeros(4, 8).size == 32
+
+    def test_repr(self):
+        assert "4x4" in repr(TiledMatrix.zeros(4, 8))
+
+
+class TestGenerators:
+    def test_random_reproducible(self):
+        a = random_matrix(3, 4, seed=42)
+        b = random_matrix(3, 4, seed=42)
+        assert np.array_equal(a.data, b.data)
+
+    def test_diagonally_dominant(self):
+        m = diagonally_dominant(3, 5, seed=1)
+        d = np.abs(np.diag(m.data))
+        off = np.abs(m.data).sum(axis=1) - d
+        assert (d > off).all()
+
+    def test_spd_is_symmetric(self):
+        m = spd_matrix(3, 4, seed=2)
+        assert np.allclose(m.data, m.data.T)
+
+    def test_spd_is_positive_definite(self):
+        m = spd_matrix(3, 4, seed=3)
+        assert np.linalg.eigvalsh(m.data).min() > 0

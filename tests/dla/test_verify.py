@@ -1,0 +1,40 @@
+"""Tests for the verification helpers themselves."""
+
+import numpy as np
+
+from repro.dla.tiles import TiledMatrix
+from repro.dla.verify import cholesky_residual, extract_lower, lu_residual, split_lu
+
+
+def test_split_lu():
+    f = np.array([[2.0, 3.0], [4.0, 5.0]])
+    L, U = split_lu(f)
+    assert np.array_equal(L, [[1, 0], [4, 1]])
+    assert np.array_equal(U, [[2, 3], [0, 5]])
+
+
+def test_extract_lower():
+    f = np.array([[2.0, 9.0], [4.0, 5.0]])
+    assert np.array_equal(extract_lower(f), [[2, 0], [4, 5]])
+
+
+def test_lu_residual_zero_for_exact_factors():
+    L = np.array([[1.0, 0.0], [0.5, 1.0]])
+    U = np.array([[4.0, 2.0], [0.0, 3.0]])
+    A = L @ U
+    factored = np.tril(L, -1) + U
+    assert lu_residual(TiledMatrix(A, 1), TiledMatrix(factored, 1)) < 1e-15
+
+
+def test_cholesky_residual_zero_for_exact_factor():
+    L = np.array([[2.0, 0.0], [1.0, 3.0]])
+    A = L @ L.T
+    assert cholesky_residual(TiledMatrix(A, 1), TiledMatrix(L, 1)) < 1e-15
+
+
+def test_residual_detects_corruption():
+    L = np.array([[2.0, 0.0], [1.0, 3.0]])
+    A = L @ L.T
+    bad = L.copy()
+    bad[1, 1] += 1.0
+    assert cholesky_residual(TiledMatrix(A, 1), TiledMatrix(bad, 1)) > 0.1

@@ -1,0 +1,66 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import ResultRow, format_rows, run_factorization, sweep
+from repro.experiments.machine import sim_cluster
+from repro.patterns.bc2d import bc2d
+from repro.patterns.sbc import sbc
+from repro.runtime.cluster import ClusterSpec
+
+
+class TestRunFactorization:
+    def test_lu_run(self):
+        tr = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100)
+        assert tr.makespan > 0
+        assert tr.n_tasks == 8 + 2 * 28 + sum((7 - k) ** 2 for k in range(8))
+
+    def test_cholesky_run(self):
+        tr = run_factorization(sbc(10), 8, "cholesky", tile_size=100)
+        assert tr.makespan > 0
+        assert tr.gflops > 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            run_factorization(bc2d(2, 2), 4, "qr")
+
+    def test_cluster_grown_to_pattern(self):
+        small = ClusterSpec(nnodes=1, cores_per_node=2, core_gflops=1.0)
+        tr = run_factorization(bc2d(2, 2), 6, "lu", cluster=small, tile_size=10)
+        assert tr.cluster.nnodes == 4
+
+    def test_default_cluster_is_simulation_model(self):
+        tr = run_factorization(bc2d(2, 2), 6, "lu", tile_size=100)
+        ref = sim_cluster(4, tile_size=100)
+        assert tr.cluster == ref
+
+
+class TestSweep:
+    def test_rows_structure(self):
+        rows = sweep({"a": bc2d(2, 2)}, [6, 8], "lu", tile_size=100)
+        assert len(rows) == 2
+        assert all(isinstance(r, ResultRow) for r in rows)
+        assert rows[0].matrix_size == 600
+        assert rows[0].P == 4
+        assert rows[0].pattern_cost == 4.0
+
+    def test_multiple_patterns(self):
+        rows = sweep({"a": bc2d(2, 2), "b": bc2d(4, 1)}, [6], "lu", tile_size=100)
+        labels = [r.label for r in rows]
+        assert labels == ["a", "b"]
+
+    def test_as_dict(self):
+        rows = sweep({"a": bc2d(2, 2)}, [6], "lu", tile_size=100)
+        d = rows[0].as_dict()
+        assert d["label"] == "a"
+        assert "gflops" in d
+
+    def test_format_rows(self):
+        rows = sweep({"demo": bc2d(2, 2)}, [6], "lu", tile_size=100)
+        text = format_rows(rows)
+        assert "demo" in text
+        assert "GFlop/s" in text
+
+    def test_worse_pattern_more_messages(self):
+        rows = sweep({"good": bc2d(2, 2), "bad": bc2d(4, 1)}, [12], "lu", tile_size=100)
+        assert rows[0].n_messages < rows[1].n_messages

@@ -1,0 +1,47 @@
+"""Tests for the simulation machine model and its calibration claims."""
+
+import pytest
+
+from repro.experiments.machine import PAPER_TILE_COUNTS, PAPER_TILE_SIZE, sim_cluster
+from repro.runtime.cluster import paper_cluster
+
+
+class TestConstants:
+    def test_paper_tile_size(self):
+        assert PAPER_TILE_SIZE == 500
+
+    def test_paper_matrix_range(self):
+        # m = 50k .. 300k at 500-wide tiles
+        assert PAPER_TILE_COUNTS[0] * PAPER_TILE_SIZE == 50_000
+        assert PAPER_TILE_COUNTS[-1] * PAPER_TILE_SIZE == 300_000
+
+
+class TestSimCluster:
+    def test_defaults(self):
+        cl = sim_cluster(23)
+        assert cl.nnodes == 23
+        assert cl.cores_per_node == 8
+        assert cl.tile_size == 500
+
+    def test_comm_sensitive_operating_point(self):
+        """The scaled platform must be markedly more comm-sensitive than
+        the real one (that is its purpose — see module docstring)."""
+        scaled = sim_cluster(23).comm_compute_ratio()
+        real = paper_cluster(23).comm_compute_ratio()
+        assert scaled > 3 * real
+
+    def test_comm_time_window(self):
+        """At the default 48-tile runs, per-node communication time sits
+        in the paper's 10-30 % band relative to compute."""
+        from repro.cost.metrics import q_lu
+        from repro.patterns.g2dbc import g2dbc, g2dbc_cost
+
+        cl = sim_cluster(23)
+        n = 48
+        comm_tiles_per_node = q_lu(g2dbc(23), n) / 23
+        comm_s = comm_tiles_per_node * cl.message_time()
+        compute_s = 2 / 3 * (n * cl.tile_size) ** 3 / (23 * cl.node_flops)
+        assert 0.05 < comm_s / compute_s < 0.5
+
+    def test_tile_size_override(self):
+        assert sim_cluster(4, tile_size=100).tile_size == 100

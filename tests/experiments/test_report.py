@@ -1,0 +1,51 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult, fig4_g2dbc_cost
+from repro.experiments.report import (
+    EXPERIMENTS,
+    generate_report,
+    plot_cost_figure,
+    plot_performance_figure,
+)
+
+
+class TestPlotHelpers:
+    def test_cost_plot(self):
+        res = fig4_g2dbc_cost(range(2, 12))
+        text = plot_cost_figure(res, "P", ("best_2dbc", "g2dbc"))
+        assert "Figure 4" in text
+        assert "legend" in text
+
+    def test_performance_plot(self):
+        rows = [
+            {"label": "a", "matrix_size": 100, "gflops": 1.0},
+            {"label": "a", "matrix_size": 200, "gflops": 2.0},
+            {"label": "b", "matrix_size": 100, "gflops": 1.5},
+        ]
+        text = plot_performance_figure(FigureResult("F", "d", rows))
+        assert "gflops" in text
+
+
+class TestGenerateReport:
+    def test_cost_only_subset(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(path=out, scale="smoke",
+                               only=["fig3_table1a", "fig4"])
+        assert out.exists()
+        assert "Table Ia" in text
+        assert "Figure 4" in text
+        assert "Figure 5" not in text
+
+    def test_simulated_subset_smoke(self):
+        text = generate_report(scale="smoke", only=["fig5"])
+        assert "Figure 5" in text
+        assert "G-2DBC" in text
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            generate_report(scale="galactic", only=["fig4"])
+
+    def test_experiment_ids_cover_paper(self):
+        assert len(EXPERIMENTS) == 12

@@ -1,0 +1,109 @@
+"""Tests for the pattern analysis toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.patterns.analysis import (
+    col_partners,
+    colrow_partners,
+    compare,
+    partner_matrix,
+    row_partners,
+    summarize,
+)
+from repro.patterns.base import Pattern
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.sbc import sbc
+
+
+class TestPartners:
+    def test_row_partners_2dbc(self):
+        p = bc2d(2, 3)
+        parts = row_partners(p)
+        assert parts[0] == frozenset({1, 2})
+        assert parts[3] == frozenset({4, 5})
+
+    def test_col_partners_2dbc(self):
+        p = bc2d(2, 3)
+        parts = col_partners(p)
+        assert parts[0] == frozenset({3})
+        assert parts[5] == frozenset({2})
+
+    def test_colrow_partners_square(self):
+        p = bc2d(2, 2)
+        parts = colrow_partners(p)
+        # colrow 0 = {0,1,2}; colrow 1 = {1,2,3}
+        assert parts[0] == frozenset({1, 2})
+        assert parts[1] == frozenset({0, 2, 3})
+
+    def test_colrow_requires_square(self):
+        with pytest.raises(ValueError):
+            colrow_partners(bc2d(2, 3))
+
+    def test_sbc_partner_sets_small(self):
+        """SBC nodes talk to ~2(a-1) partners, not all P-1."""
+        p = sbc(21)  # a = 7
+        parts = colrow_partners(p)
+        assert all(len(s) <= 2 * 6 for s in parts.values())
+        assert all(len(s) >= 6 for s in parts.values())
+
+    def test_undefined_cells_ignored(self):
+        p = sbc(10)
+        parts = colrow_partners(p)
+        assert all(-1 not in s for s in parts.values())
+
+
+class TestPartnerMatrix:
+    def test_symmetric_adjacency(self):
+        for pat in (bc2d(3, 3), g2dbc(7)):
+            mat = partner_matrix(pat, "lu")
+            assert (mat == mat.T).all()
+            assert not mat.diagonal().any()
+
+    def test_lu_union_of_rows_and_cols(self):
+        p = bc2d(2, 3)
+        mat = partner_matrix(p, "lu")
+        assert mat[0, 1] and mat[0, 3]
+        assert not mat[0, 4]
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            partner_matrix(bc2d(2, 2), "qr")
+
+    def test_bad_pattern_has_dense_partner_graph(self):
+        """23x1 forces every node to talk to all others."""
+        mat = partner_matrix(bc2d(23, 1), "lu")
+        assert mat.sum(axis=1).min() == 22
+
+    def test_g2dbc_sparser_than_degenerate_2dbc(self):
+        good = partner_matrix(g2dbc(23), "lu").sum(axis=1).mean()
+        bad = partner_matrix(bc2d(23, 1), "lu").sum(axis=1).mean()
+        assert good < bad
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        s = summarize(bc2d(4, 4))
+        assert s.nnodes == 16
+        assert s.balanced
+        assert s.cost_lu == 8.0
+        assert s.cost_cholesky == 7.0
+        assert s.mean_partners == 6.0  # 3 row + 3 col partners each
+
+    def test_non_square_cholesky_nan(self):
+        s = summarize(bc2d(2, 3))
+        assert math.isnan(s.cost_cholesky)
+        assert s.as_row()["T_chol"] == "-"
+
+    def test_compare_sorted_by_cost(self):
+        rows = compare([bc2d(23, 1), g2dbc(23), bc2d(7, 3)], "lu")
+        costs = [r["T_lu"] for r in rows]
+        assert costs == sorted(costs)
+        assert rows[0]["P"] in (23, 21)
+
+    def test_compare_cholesky(self):
+        rows = compare([sbc(21), bc2d(5, 5)], "cholesky")
+        assert rows[0]["T_chol"] == 6.0

@@ -1,0 +1,212 @@
+"""Tests for the Pattern abstraction (Section III statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import UNDEFINED, Pattern, PatternError, pattern_from_rows
+
+
+class TestConstruction:
+    def test_basic_grid(self):
+        p = Pattern([[0, 1], [2, 3]])
+        assert p.shape == (2, 2)
+        assert p.nnodes == 4
+
+    def test_nnodes_inferred_from_max(self):
+        p = Pattern([[0, 5]])
+        assert p.nnodes == 6
+
+    def test_explicit_nnodes_larger_ok(self):
+        p = Pattern([[0, 1]], nnodes=10)
+        assert p.nnodes == 10
+
+    def test_explicit_nnodes_too_small_rejected(self):
+        with pytest.raises(PatternError, match="smaller than"):
+            Pattern([[0, 7]], nnodes=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(np.zeros((0, 3), dtype=int))
+
+    def test_1d_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([0, 1, 2])
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([[0, -2]])
+
+    def test_undefined_off_diagonal_rejected(self):
+        with pytest.raises(PatternError, match="diagonal"):
+            Pattern([[0, UNDEFINED], [1, 2]])
+
+    def test_undefined_in_rectangular_rejected(self):
+        with pytest.raises(PatternError, match="square"):
+            Pattern([[UNDEFINED, 1, 2], [3, 4, 5]])
+
+    def test_undefined_diagonal_allowed(self):
+        p = Pattern([[UNDEFINED, 0], [1, UNDEFINED]])
+        assert p.has_undefined
+        assert p.nnodes == 2
+
+    def test_all_undefined_rejected(self):
+        with pytest.raises(PatternError, match="at least one defined"):
+            Pattern([[UNDEFINED]])
+
+    def test_grid_is_read_only(self):
+        p = Pattern([[0, 1]])
+        with pytest.raises(ValueError):
+            p.grid[0, 0] = 5
+
+    def test_pattern_from_rows(self):
+        p = pattern_from_rows([[0, 1], [2, 3]])
+        assert p.shape == (2, 2)
+
+    def test_default_name(self):
+        p = Pattern([[0, 1]])
+        assert "1x2" in p.name
+
+    def test_repr(self):
+        p = Pattern([[0, 1]], name="demo")
+        assert "demo" in repr(p)
+
+
+class TestEqualityHash:
+    def test_equal_patterns(self):
+        a = Pattern([[0, 1], [2, 3]])
+        b = Pattern([[0, 1], [2, 3]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_grid(self):
+        assert Pattern([[0, 1]]) != Pattern([[1, 0]])
+
+    def test_unequal_nnodes(self):
+        assert Pattern([[0, 1]], nnodes=2) != Pattern([[0, 1]], nnodes=3)
+
+    def test_not_equal_to_other_types(self):
+        assert Pattern([[0]]) != [[0]]
+
+
+class TestOwner:
+    def test_cyclic_replication(self):
+        p = Pattern([[0, 1], [2, 3]])
+        assert p.owner(0, 0) == 0
+        assert p.owner(2, 2) == 0
+        assert p.owner(3, 2) == 2
+        assert p.owner(5, 7) == 3
+
+    def test_undefined_owner_returned(self):
+        p = Pattern([[UNDEFINED, 0], [1, UNDEFINED]])
+        assert p.owner(0, 0) == UNDEFINED
+
+
+class TestLoadStatistics:
+    def test_cell_counts(self):
+        p = Pattern([[0, 0], [1, 2]])
+        assert p.cell_counts.tolist() == [2, 1, 1]
+
+    def test_balanced(self):
+        assert Pattern([[0, 1], [2, 3]]).is_balanced
+        assert not Pattern([[0, 0], [1, 2]]).is_balanced
+
+    def test_quasi_balanced(self):
+        assert Pattern([[0, 0], [1, 2]]).is_quasi_balanced
+        assert not Pattern([[0, 0], [0, 1]]).is_quasi_balanced
+
+    def test_undefined_cells_not_counted(self):
+        p = Pattern([[UNDEFINED, 0], [1, UNDEFINED]])
+        assert p.cell_counts.tolist() == [1, 1]
+        assert p.is_balanced
+
+    def test_load_imbalance(self):
+        p = Pattern([[0, 0], [1, 2]])
+        assert p.load_imbalance() == pytest.approx(2 / (4 / 3))
+
+    def test_perfect_imbalance_is_one(self):
+        assert Pattern([[0, 1], [2, 3]]).load_imbalance() == 1.0
+
+
+class TestCommunicationStatistics:
+    def test_row_counts_2dbc(self):
+        p = Pattern(np.arange(6).reshape(2, 3))
+        assert p.row_counts.tolist() == [3, 3]
+        assert p.col_counts.tolist() == [2, 2, 2]
+
+    def test_row_counts_with_repeats(self):
+        p = Pattern([[0, 0, 1], [2, 3, 3]])
+        assert p.row_counts.tolist() == [2, 2]
+
+    def test_mean_counts(self):
+        p = Pattern(np.arange(6).reshape(2, 3))
+        assert p.mean_row_count == 3.0
+        assert p.mean_col_count == 2.0
+
+    def test_cost_lu_is_sum(self):
+        p = Pattern(np.arange(6).reshape(2, 3))
+        assert p.cost_lu == 5.0
+
+    def test_colrow_counts_square(self):
+        p = Pattern([[0, 1], [2, 3]])
+        # colrow 0 = row 0 + col 0 = {0,1} ∪ {0,2} = 3 nodes
+        assert p.colrow_counts.tolist() == [3, 3]
+        assert p.cost_cholesky == 3.0
+
+    def test_colrow_requires_square(self):
+        p = Pattern(np.arange(6).reshape(2, 3))
+        with pytest.raises(PatternError, match="square"):
+            _ = p.colrow_counts
+
+    def test_colrow_ignores_undefined(self):
+        p = Pattern([[UNDEFINED, 0], [1, UNDEFINED]])
+        assert p.colrow_counts.tolist() == [2, 2]
+
+    def test_cholesky_cost_is_lu_minus_one_for_2dbc(self):
+        # a colrow merges one row and one column sharing one node
+        p = Pattern(np.arange(9).reshape(3, 3))
+        assert p.cost_cholesky == p.cost_lu - 1.0
+
+    def test_cost_dispatch(self):
+        p = Pattern([[0, 1], [2, 3]])
+        assert p.cost("lu") == p.cost_lu
+        assert p.cost("cholesky") == p.cost_cholesky
+        with pytest.raises(ValueError, match="unknown kernel"):
+            p.cost("qr")
+
+    def test_colrow_nodes(self):
+        p = Pattern([[0, 1], [2, 3]])
+        assert p.colrow_nodes(0) == frozenset({0, 1, 2})
+        assert p.colrow_nodes(1) == frozenset({1, 2, 3})
+
+    def test_colrow_nodes_requires_square(self):
+        p = Pattern(np.arange(6).reshape(2, 3))
+        with pytest.raises(PatternError):
+            p.colrow_nodes(0)
+
+
+class TestValidate:
+    def test_all_nodes_required(self):
+        p = Pattern([[0, 2]], nnodes=3)
+        with pytest.raises(PatternError, match="own no cell"):
+            p.validate()
+
+    def test_all_nodes_not_required(self):
+        Pattern([[0, 2]], nnodes=3).validate(require_all_nodes=False)
+
+    def test_balance_enforced(self):
+        p = Pattern([[0, 0], [1, 2]])
+        with pytest.raises(PatternError, match="not balanced"):
+            p.validate(require_balanced=True)
+
+    def test_valid_pattern_passes(self):
+        Pattern([[0, 1], [2, 3]]).validate(require_balanced=True)
+
+
+class TestToText:
+    def test_renders_grid(self):
+        text = Pattern([[0, 1], [2, 3]]).to_text()
+        assert text.splitlines()[0].split() == ["0", "1"]
+
+    def test_renders_undefined_as_dots(self):
+        text = Pattern([[UNDEFINED, 0], [1, UNDEFINED]]).to_text()
+        assert ".." in text

@@ -1,0 +1,96 @@
+"""Tests for classical 2DBC patterns."""
+
+import pytest
+
+from repro.patterns.bc2d import (
+    bc2d,
+    bc2d_cost,
+    best_2dbc,
+    best_2dbc_within,
+    best_grid,
+    grid_shapes,
+)
+
+
+class TestBc2d:
+    def test_each_node_once(self):
+        p = bc2d(3, 4)
+        assert p.nnodes == 12
+        assert p.is_balanced
+        assert p.cell_counts.max() == 1
+
+    def test_row_major_layout(self):
+        p = bc2d(2, 3)
+        assert p.grid.tolist() == [[0, 1, 2], [3, 4, 5]]
+
+    def test_costs_match_closed_form(self):
+        for r, c in [(2, 3), (4, 4), (7, 3), (11, 2), (23, 1)]:
+            p = bc2d(r, c)
+            assert p.cost_lu == bc2d_cost(r, c, "lu") == r + c
+            assert r != c or p.cost_cholesky == bc2d_cost(r, c, "cholesky")
+
+    def test_square_cholesky_cost(self):
+        assert bc2d(4, 4).cost_cholesky == 7.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            bc2d(0, 3)
+        with pytest.raises(ValueError):
+            bc2d(3, -1)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            bc2d_cost(2, 2, "qr")
+
+
+class TestGridEnumeration:
+    def test_grid_shapes_12(self):
+        assert set(grid_shapes(12)) == {(12, 1), (6, 2), (4, 3)}
+
+    def test_grid_shapes_prime(self):
+        assert list(grid_shapes(23)) == [(23, 1)]
+
+    def test_grid_shapes_invalid(self):
+        with pytest.raises(ValueError):
+            list(grid_shapes(0))
+
+    def test_best_grid_square(self):
+        assert best_grid(16) == (4, 4)
+
+    def test_best_grid_rectangular(self):
+        assert best_grid(20) == (5, 4)
+        assert best_grid(21) == (7, 3)
+        assert best_grid(22) == (11, 2)
+
+    def test_best_grid_prime(self):
+        assert best_grid(23) == (23, 1)
+
+    def test_best_2dbc(self):
+        p = best_2dbc(30)
+        assert p.shape == (6, 5)
+        assert p.cost_lu == 11.0
+
+
+class TestBest2dbcWithin:
+    def test_prime_falls_back_to_fewer_nodes(self):
+        # within 23 nodes, a 23x1 grid is terrible; a squarer grid on
+        # fewer nodes gives better cost per participating node
+        p = best_2dbc_within(23)
+        assert p.nnodes < 23
+        assert p.cost_lu / p.nnodes <= 24 / 23
+
+    def test_square_is_kept(self):
+        p = best_2dbc_within(16)
+        assert p.nnodes == 16
+        assert p.shape == (4, 4)
+
+    def test_never_exceeds_p(self):
+        for P in (5, 7, 11, 13, 26):
+            assert best_2dbc_within(P).nnodes <= P
+
+    def test_table1a_values(self):
+        """2DBC costs listed in Table Ia."""
+        expected = {16: 8, 20: 9, 21: 10, 22: 13, 30: 11, 35: 12, 36: 12, 39: 16}
+        for P, T in expected.items():
+            r, c = best_grid(P)
+            assert bc2d_cost(r, c, "lu") == T

@@ -1,0 +1,143 @@
+"""Tests for the heterogeneous-node extension."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.lu import build_lu_graph
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.heterogeneous import (
+    contract_pattern,
+    heterogeneous_g2dbc,
+    quantize_speeds,
+    weighted_imbalance,
+)
+from repro.patterns.sbc import sbc
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.simulator import simulate
+
+
+class TestQuantize:
+    def test_homogeneous(self):
+        assert quantize_speeds([3.0, 3.0, 3.0]) == [1, 1, 1]
+
+    def test_double_speed(self):
+        assert quantize_speeds([1.0, 1.0, 2.0]) == [1, 1, 2]
+
+    def test_near_double(self):
+        assert quantize_speeds([1.0, 1.0, 2.05]) == [1, 1, 2]
+
+    def test_everyone_gets_at_least_one(self):
+        w = quantize_speeds([0.1, 10.0], max_weight=4)
+        assert min(w) >= 1
+
+    def test_max_weight_respected(self):
+        assert max(quantize_speeds([1, 2, 4, 8], max_weight=8)) <= 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            quantize_speeds([])
+        with pytest.raises(ValueError):
+            quantize_speeds([1.0, -2.0])
+
+
+class TestContraction:
+    def test_identity_when_weights_one(self):
+        v = g2dbc(7)
+        c = contract_pattern(v, [1] * 7)
+        assert (c.grid == v.grid).all()
+
+    def test_loads_proportional_to_weights(self):
+        weights = [1, 2, 1, 3]
+        v = g2dbc(sum(weights))
+        c = contract_pattern(v, weights)
+        per_virtual = v.cell_counts[0]
+        assert c.cell_counts.tolist() == [w * per_virtual for w in weights]
+
+    def test_cost_never_increases(self):
+        """Contraction merges identities, so T can only drop."""
+        for weights in ([1, 2, 2], [3, 1, 1, 1], [2, 2, 2, 2], [1, 1, 5]):
+            v = g2dbc(sum(weights))
+            c = contract_pattern(v, weights)
+            assert c.cost_lu <= v.cost_lu + 1e-9, weights
+
+    def test_undefined_cells_preserved(self):
+        v = sbc(10)  # 5x5, undefined diagonal, P=10
+        c = contract_pattern(v, [2] * 5)
+        assert c.has_undefined
+        assert (np.diag(c.grid) == -1).all()
+
+    def test_weight_sum_mismatch(self):
+        with pytest.raises(ValueError, match="weights sum"):
+            contract_pattern(g2dbc(7), [1, 2])
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            contract_pattern(g2dbc(3), [2, 0, 1])
+
+
+class TestHeterogeneousG2dbc:
+    def test_speed_proportional_balance(self):
+        speeds = [1.0, 1.0, 2.0, 2.0]
+        pat = heterogeneous_g2dbc(speeds)
+        assert weighted_imbalance(pat, speeds) == pytest.approx(1.0)
+
+    def test_all_nodes_used(self):
+        pat = heterogeneous_g2dbc([1.0, 3.0, 1.5, 1.0, 2.0])
+        pat.validate()
+
+    def test_weighted_imbalance_detects_mismatch(self):
+        pat = g2dbc(4)  # homogeneous balance
+        # pretending node 0 is 4x faster: it should own 4x the tiles
+        assert weighted_imbalance(pat, [4.0, 1.0, 1.0, 1.0]) > 1.5
+
+    def test_weighted_imbalance_needs_speed_per_node(self):
+        with pytest.raises(ValueError):
+            weighted_imbalance(g2dbc(4), [1.0, 2.0])
+
+
+class TestHeterogeneousSimulation:
+    def _run(self, pattern, speeds, n=10):
+        dist = TileDistribution(pattern, n)
+        graph, home = build_lu_graph(dist, 8)
+        cl = ClusterSpec(nnodes=pattern.nnodes, cores_per_node=2, core_gflops=1.0,
+                         bandwidth_Bps=1e9, latency_s=0.0, tile_size=8,
+                         node_speeds=tuple(speeds))
+        return simulate(graph, cl, data_home=home)
+
+    def test_weighted_pattern_beats_uniform_on_skewed_cluster(self):
+        """On a cluster with one 3x-faster node, the speed-proportional
+        pattern finishes sooner than the homogeneous one."""
+        speeds = [3.0, 1.0, 1.0, 1.0]
+        uniform = self._run(g2dbc(4), speeds)
+        weighted = self._run(heterogeneous_g2dbc(speeds), speeds)
+        assert weighted.makespan < uniform.makespan
+
+    def test_homogeneous_speeds_equivalent_to_default(self):
+        pat = g2dbc(4)
+        dist = TileDistribution(pat, 8)
+        graph, home = build_lu_graph(dist, 8)
+        base = ClusterSpec(nnodes=4, cores_per_node=2, core_gflops=1.0,
+                           bandwidth_Bps=1e9, latency_s=0.0, tile_size=8)
+        hetero = ClusterSpec(nnodes=4, cores_per_node=2, core_gflops=1.0,
+                             bandwidth_Bps=1e9, latency_s=0.0, tile_size=8,
+                             node_speeds=(1.0, 1.0, 1.0, 1.0))
+        assert simulate(graph, base, data_home=home).makespan == pytest.approx(
+            simulate(graph, hetero, data_home=home).makespan
+        )
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nnodes=2, node_speeds=(1.0,))
+        with pytest.raises(ValueError):
+            ClusterSpec(nnodes=2, node_speeds=(1.0, -1.0))
+
+    def test_is_heterogeneous(self):
+        assert ClusterSpec(nnodes=2, node_speeds=(1.0, 2.0)).is_heterogeneous
+        assert not ClusterSpec(nnodes=2, node_speeds=(2.0, 2.0)).is_heterogeneous
+        assert not ClusterSpec(nnodes=2).is_heterogeneous
+
+    def test_total_speed(self):
+        c = ClusterSpec(nnodes=2, cores_per_node=3, node_speeds=(1.0, 2.0))
+        assert c.total_speed() == 9.0
+        assert ClusterSpec(nnodes=2, cores_per_node=3).total_speed() == 6.0

@@ -1,0 +1,55 @@
+"""Tests for pattern serialization."""
+
+import json
+
+import pytest
+
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.io import (
+    load_database,
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_database,
+    save_pattern,
+)
+from repro.patterns.sbc import sbc
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        p = g2dbc(10)
+        assert pattern_from_dict(pattern_to_dict(p)) == p
+
+    def test_undefined_cells_preserved(self):
+        p = sbc(21)  # extended diagonal: undefined cells
+        q = pattern_from_dict(pattern_to_dict(p))
+        assert q == p
+        assert q.has_undefined
+
+    def test_name_preserved(self):
+        p = bc2d(3, 4)
+        assert pattern_from_dict(pattern_to_dict(p)).name == p.name
+
+    def test_file_round_trip(self, tmp_path):
+        p = g2dbc(23)
+        path = tmp_path / "p23.json"
+        save_pattern(p, path)
+        assert load_pattern(path) == p
+
+    def test_file_is_json(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_pattern(bc2d(2, 2), path)
+        data = json.loads(path.read_text())
+        assert data["nnodes"] == 4
+
+
+class TestDatabase:
+    def test_database_round_trip(self, tmp_path):
+        db = {P: g2dbc(P) for P in (5, 10, 23)}
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert set(loaded) == {5, 10, 23}
+        assert loaded[23] == db[23]

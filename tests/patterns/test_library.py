@@ -1,0 +1,126 @@
+"""Tests for the pattern façade and database."""
+
+import pytest
+
+from repro.patterns.library import PATTERN_FAMILIES, PatternDatabase, best_pattern
+
+
+class TestBestPattern:
+    def test_lu_default_is_g2dbc(self):
+        p = best_pattern(23, "lu")
+        assert p.nnodes == 23
+        assert "G-2DBC" in p.name
+
+    def test_cholesky_default_uses_all_nodes(self):
+        p = best_pattern(23, "cholesky", seeds=range(5), max_factor=3.0)
+        assert p.nnodes == 23
+
+    def test_cholesky_sbc_feasible_keeps_best(self):
+        # P=21 is SBC-feasible with T=6; the search must not return worse
+        p = best_pattern(21, "cholesky", seeds=range(5), max_factor=3.0)
+        assert p.cost_cholesky <= 6.0
+
+    def test_explicit_family(self):
+        p = best_pattern(12, family="2dbc")
+        assert p.shape == (4, 3)
+
+    def test_family_sbc_within(self):
+        p = best_pattern(23, family="sbc_within")
+        assert p.nnodes == 21
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            best_pattern(10, family="nope")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            best_pattern(10, kernel="qr")
+
+    def test_all_families_registered(self):
+        assert set(PATTERN_FAMILIES) == {
+            "2dbc", "2dbc_within", "g2dbc", "sbc", "sbc_within", "gcrm", "sts",
+        }
+
+
+class TestPatternDatabase:
+    def test_lazy_build_and_cache(self):
+        db = PatternDatabase(kernel="lu")
+        p1 = db.get(23)
+        p2 = db.get(23)
+        assert p1 is p2
+        assert 23 in db
+        assert len(db) == 1
+
+    def test_build_range(self):
+        db = PatternDatabase(kernel="lu").build(range(4, 8))
+        assert len(db) == 4
+        costs = db.costs()
+        assert sorted(costs) == [4, 5, 6, 7]
+
+    def test_efficiency_close_to_optimal_for_lu(self):
+        db = PatternDatabase(kernel="lu")
+        for P in (16, 23, 36):
+            assert 0.8 <= db.efficiency(P) <= 1.01
+
+    def test_cholesky_database(self):
+        db = PatternDatabase(kernel="cholesky", seeds=5, max_factor=3.0)
+        p = db.get(21)
+        assert p.cost_cholesky <= 6.0
+
+
+class TestShippedDatabase:
+    def test_covers_2_to_44(self):
+        from repro.patterns.library import load_shipped_database
+
+        for kernel in ("lu", "cholesky"):
+            db = load_shipped_database(kernel)
+            assert set(db) == set(range(2, 45))
+
+    def test_patterns_use_all_nodes(self):
+        from repro.patterns.library import load_shipped_database
+
+        for P, pat in load_shipped_database("cholesky").items():
+            assert pat.nnodes == P
+            pat.validate()
+
+    def test_costs_competitive(self):
+        """Every shipped Cholesky pattern is at or below the basic-SBC
+        growth curve plus a small slack; every LU pattern obeys Lemma 2."""
+        import math
+
+        from repro.patterns.g2dbc import g2dbc_cost_bound
+        from repro.patterns.library import load_shipped_database
+
+        for P, pat in load_shipped_database("cholesky").items():
+            assert pat.cost_cholesky <= math.sqrt(2 * P) + 1.2, P
+        for P, pat in load_shipped_database("lu").items():
+            assert pat.cost_lu <= g2dbc_cost_bound(P) + 1e-9, P
+
+    def test_shipped_pattern_accessors(self):
+        import pytest as _pytest
+
+        from repro.patterns.library import shipped_pattern
+
+        assert shipped_pattern(23, "lu").nnodes == 23
+        with _pytest.raises(ValueError, match="2, 44"):
+            shipped_pattern(100)
+        with _pytest.raises(ValueError, match="kernel"):
+            shipped_pattern(10, "qr")
+
+    def test_cache_returns_same_objects(self):
+        from repro.patterns.library import load_shipped_database
+
+        assert load_shipped_database("lu") is load_shipped_database("lu")
+
+
+class TestStsFamily:
+    def test_sts_family_registered(self):
+        p = best_pattern(35, "cholesky", family="sts")
+        assert p.nnodes == 35
+        assert p.cost_cholesky == 7.0
+
+    def test_sts_family_infeasible(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="Steiner"):
+            best_pattern(23, "cholesky", family="sts")

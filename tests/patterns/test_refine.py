@@ -1,0 +1,103 @@
+"""Tests for local-search pattern refinement."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import UNDEFINED, Pattern
+from repro.patterns.bc2d import bc2d
+from repro.patterns.gcrm import gcrm, gcrm_search
+from repro.patterns.refine import refine_symmetric
+from repro.patterns.sbc import sbc
+
+
+class TestInvariants:
+    def test_never_increases_cost(self):
+        for seed in range(6):
+            res = gcrm(23, 12, seed=seed)
+            ref = refine_symmetric(res.pattern)
+            assert ref.cost <= ref.initial_cost + 1e-12
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            refine_symmetric(bc2d(2, 3))
+
+    def test_sbc_is_a_fixed_point(self):
+        """SBC's pair structure leaves no profitable single-cell move."""
+        ref = refine_symmetric(sbc(21))
+        assert ref.moves == 0
+        assert ref.cost == 6.0
+
+    def test_diagonal_untouched(self):
+        res = gcrm(13, 9, seed=0)
+        ref = refine_symmetric(res.pattern)
+        assert (np.diag(ref.pattern.grid) == UNDEFINED).all()
+
+    def test_balance_band_respected(self):
+        res = gcrm(23, 12, seed=1)
+        before = res.pattern.cell_counts
+        ref = refine_symmetric(res.pattern, balance_slack=1)
+        after = ref.pattern.cell_counts
+        assert after.max() <= before.max() + 1
+        assert after.min() >= max(1, before.min() - 1)
+        assert after.sum() == before.sum()
+
+    def test_improvement_property(self):
+        ref = refine_symmetric(gcrm(23, 14, seed=3).pattern)
+        assert ref.improvement == pytest.approx(1 - ref.cost / ref.initial_cost)
+
+    def test_deterministic_without_rng(self):
+        pat = gcrm(23, 12, seed=2).pattern
+        a = refine_symmetric(pat)
+        b = refine_symmetric(pat)
+        assert a.pattern == b.pattern
+
+    def test_terminates_on_max_passes(self):
+        pat = gcrm(23, 12, seed=4).pattern
+        ref = refine_symmetric(pat, max_passes=1)
+        assert ref.passes <= 1
+
+
+class TestImprovement:
+    def test_improves_wasteful_pattern(self):
+        """A redundant assignment gets cleaned up: cell (1,2) is node
+        3's only presence on colrows 1 and 2, both already covered by
+        nodes 0/2, and node 3 keeps its other cells."""
+        grid = np.array([
+            [UNDEFINED, 0, 1, 3],
+            [0, UNDEFINED, 3, 2],
+            [1, 2, UNDEFINED, 0],
+            [3, 2, 1, UNDEFINED],
+        ])
+        pat = Pattern(grid, nnodes=4)
+        ref = refine_symmetric(pat, balance_slack=2)
+        assert ref.cost < ref.initial_cost
+        assert ref.moves >= 1
+        # no node was emptied
+        assert ref.pattern.cell_counts.min() >= 1
+
+    def test_never_empties_a_node(self):
+        """Removing a node's last cell would fake a cheaper pattern by
+        using fewer nodes — the guard must block it even when Σz would
+        drop."""
+        grid = np.array([
+            [UNDEFINED, 0, 1],
+            [0, UNDEFINED, 3],
+            [1, 2, UNDEFINED],
+        ])
+        ref = refine_symmetric(Pattern(grid, nnodes=4), balance_slack=3)
+        assert ref.pattern.cell_counts.min() >= 1
+
+    def test_often_improves_raw_gcrm(self):
+        """Across seeds, refinement finds improvements reasonably often."""
+        improved = 0
+        for seed in range(10):
+            res = gcrm(23, 16, seed=seed)
+            ref = refine_symmetric(res.pattern)
+            assert ref.cost <= res.cost + 1e-12
+            improved += ref.moves > 0
+        assert improved >= 3
+
+    def test_search_plus_refine_at_least_as_good(self):
+        res = gcrm_search(23, seeds=range(8), max_factor=3.0)
+        ref = refine_symmetric(res.pattern)
+        assert ref.cost <= res.cost + 1e-12

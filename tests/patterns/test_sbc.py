@@ -1,0 +1,181 @@
+"""Tests for SBC patterns (the prior-work baseline of Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import UNDEFINED
+from repro.patterns.sbc import (
+    best_sbc_within,
+    pair_index,
+    sbc,
+    sbc_cost,
+    sbc_feasible,
+    sbc_square,
+    sbc_triangle,
+)
+
+
+class TestPairIndex:
+    def test_enumeration_order(self):
+        # a = 4: pairs (0,1),(0,2),(0,3),(1,2),(1,3),(2,3)
+        expected = {(0, 1): 0, (0, 2): 1, (0, 3): 2, (1, 2): 3, (1, 3): 4, (2, 3): 5}
+        for (i, j), idx in expected.items():
+            assert pair_index(i, j, 4) == idx
+
+    def test_bijection(self):
+        a = 9
+        seen = {pair_index(i, j, a) for i in range(a) for j in range(i + 1, a)}
+        assert seen == set(range(a * (a - 1) // 2))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pair_index(2, 2, 4)
+        with pytest.raises(ValueError):
+            pair_index(3, 1, 4)
+
+
+class TestTriangleFamily:
+    def test_p_value(self):
+        assert sbc_triangle(7).nnodes == 21
+        assert sbc_triangle(8).nnodes == 28
+
+    def test_symmetric_cells(self):
+        p = sbc_triangle(6)
+        g = p.grid
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert g[i, j] == g[j, i]
+
+    def test_extended_diagonal_undefined(self):
+        p = sbc_triangle(6)
+        assert (np.diag(p.grid) == UNDEFINED).all()
+
+    def test_fixed_diagonal_within_colrow(self):
+        p = sbc_triangle(6, diagonal="fixed")
+        for i in range(6):
+            node = p.grid[i, i]
+            assert node != UNDEFINED
+            assert node in p.colrow_nodes(i)
+
+    def test_cost_is_a_minus_one(self):
+        for a in (5, 6, 7, 8, 9):
+            assert sbc_triangle(a).cost_cholesky == a - 1
+            # the fixed-diagonal variant does not increase the cost
+            assert sbc_triangle(a, diagonal="fixed").cost_cholesky == a - 1
+
+    def test_offdiagonal_balance(self):
+        # every pair node owns exactly 2 cells
+        p = sbc_triangle(8)
+        assert p.is_balanced
+        assert p.cell_counts[0] == 2
+
+    def test_colrow_counts_uniform(self):
+        p = sbc_triangle(7)
+        assert (p.colrow_counts == 6).all()
+
+    def test_invalid_a(self):
+        with pytest.raises(ValueError):
+            sbc_triangle(1)
+
+    def test_invalid_diagonal_policy(self):
+        with pytest.raises(ValueError):
+            sbc_triangle(5, diagonal="bogus")
+
+
+class TestSquareFamily:
+    def test_p_value(self):
+        assert sbc_square(8).nnodes == 32
+        assert sbc_square(6).nnodes == 18
+
+    def test_fully_defined(self):
+        assert not sbc_square(8).has_undefined
+
+    def test_every_node_two_cells(self):
+        p = sbc_square(8)
+        assert p.is_balanced
+        assert p.cell_counts[0] == 2
+
+    def test_cost_is_a(self):
+        for a in (4, 6, 8, 10):
+            assert sbc_square(a).cost_cholesky == a
+
+    def test_couple_nodes_on_diagonal(self):
+        p = sbc_square(6)
+        g = p.grid
+        n_pairs = 15
+        for k in range(3):
+            assert g[2 * k, 2 * k] == n_pairs + k
+            assert g[2 * k + 1, 2 * k + 1] == n_pairs + k
+
+    def test_odd_a_rejected(self):
+        with pytest.raises(ValueError):
+            sbc_square(7)
+
+
+class TestFeasibility:
+    def test_triangle_values(self):
+        for P in (1, 3, 6, 10, 15, 21, 28, 36, 45):
+            assert sbc_feasible(P) == "triangle"
+
+    def test_square_values(self):
+        for P in (2, 8, 18, 32, 50, 72):
+            assert sbc_feasible(P) == "square"
+
+    def test_infeasible_values(self):
+        for P in (4, 5, 7, 9, 11, 23, 31, 35, 39):
+            assert sbc_feasible(P) is None
+
+    def test_sbc_dispatch(self):
+        assert sbc(21).shape == (7, 7)
+        assert sbc(32).shape == (8, 8)
+        with pytest.raises(ValueError, match="no SBC"):
+            sbc(23)
+
+    def test_sbc_cost_matches_patterns(self):
+        for P in (21, 28, 32, 36):
+            assert sbc(P).cost_cholesky == sbc_cost(P)
+        with pytest.raises(ValueError):
+            sbc_cost(23)
+
+
+class TestTable1bValues:
+    """SBC entries of Table Ib."""
+
+    def test_p21(self):
+        p = sbc(21)
+        assert p.shape == (7, 7) and p.cost_cholesky == 6
+
+    def test_p28(self):
+        p = sbc(28)
+        assert p.shape == (8, 8) and p.cost_cholesky == 7
+
+    def test_p32(self):
+        p = sbc(32)
+        assert p.shape == (8, 8) and p.cost_cholesky == 8
+
+    def test_p36(self):
+        p = sbc(36)
+        assert p.shape == (9, 9) and p.cost_cholesky == 8
+
+
+class TestBestWithin:
+    def test_within_23_uses_21(self):
+        assert best_sbc_within(23).nnodes == 21
+
+    def test_within_31_uses_28(self):
+        assert best_sbc_within(31).nnodes == 28
+
+    def test_within_35_uses_32(self):
+        # paper: SBC baseline for P=35 is the square 8x8 on 32 nodes
+        assert best_sbc_within(35).nnodes == 32
+
+    def test_within_39_uses_36(self):
+        assert best_sbc_within(39).nnodes == 36
+
+    def test_exact_p_kept(self):
+        assert best_sbc_within(28).nnodes == 28
+
+    def test_no_feasible(self):
+        # P' = 1 is triangle-feasible (a=2 gives 1), so this never fails
+        assert best_sbc_within(1).nnodes == 1

@@ -1,0 +1,108 @@
+"""Tests for the Steiner-triple-system explicit optimal patterns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import UNDEFINED
+from repro.patterns.gcrm import gcrm_cost_floor
+from repro.patterns.sts import (
+    sts_cost,
+    sts_feasible,
+    sts_node_counts,
+    sts_pattern,
+    sts_triples,
+)
+
+
+class TestFeasibility:
+    def test_admissible_orders(self):
+        feasible = [r for r in range(3, 40) if sts_feasible(r)]
+        assert feasible == [3, 7, 9, 13, 15, 19, 21, 25, 27, 31, 33, 37, 39]
+
+    def test_node_counts(self):
+        counts = sts_node_counts(21)
+        assert counts == {7: 7, 12: 9, 26: 13, 35: 15, 57: 19, 70: 21}
+
+    def test_infeasible_rejected(self):
+        for r in (4, 5, 6, 8, 11):
+            with pytest.raises(ValueError):
+                sts_triples(r)
+        with pytest.raises(ValueError):
+            sts_cost(8)
+
+
+class TestSteinerProperty:
+    @pytest.mark.parametrize("r", [3, 7, 9, 13, 15, 19, 21, 25])
+    def test_every_pair_in_exactly_one_triple(self, r):
+        triples = sts_triples(r)
+        assert len(triples) == r * (r - 1) // 6
+        count = np.zeros((r, r), dtype=int)
+        for a, b, c in triples:
+            assert 0 <= a < b < c < r
+            for u, v in ((a, b), (a, c), (b, c)):
+                count[u, v] += 1
+        iu = np.triu_indices(r, 1)
+        assert (count[iu] == 1).all()
+
+    def test_point_replication(self):
+        """Each point lies in exactly (r-1)/2 triples."""
+        for r in (9, 13, 15):
+            triples = sts_triples(r)
+            per_point = np.zeros(r, dtype=int)
+            for t in triples:
+                for p in t:
+                    per_point[p] += 1
+            assert (per_point == (r - 1) // 2).all()
+
+
+class TestPattern:
+    @pytest.mark.parametrize("r", [7, 9, 13, 15, 21])
+    def test_achieves_the_floor(self, r):
+        p = sts_pattern(r)
+        assert p.cost_cholesky == (r - 1) / 2
+        # within O(1) of sqrt(3P/2), converging from below
+        assert abs(p.cost_cholesky - gcrm_cost_floor(p.nnodes)) < 0.5
+
+    def test_perfectly_balanced_six_cells(self):
+        p = sts_pattern(15)
+        assert p.is_balanced
+        assert p.cell_counts[0] == 6
+
+    def test_diagonal_undefined(self):
+        p = sts_pattern(9)
+        assert (np.diag(p.grid) == UNDEFINED).all()
+        off = ~np.eye(9, dtype=bool)
+        assert (p.grid[off] != UNDEFINED).all()
+
+    def test_uniform_colrow_counts(self):
+        p = sts_pattern(13)
+        assert (p.colrow_counts == 6).all()
+
+    def test_p35_beats_paper_heuristics(self):
+        """The paper's P=35 case: explicit STS(15) gives T=7, below
+        GCR&M's 7.4 and the 32-node SBC's 8 (Table Ib)."""
+        p = sts_pattern(15)
+        assert p.nnodes == 35
+        assert p.cost_cholesky == 7.0
+
+    def test_distributes_and_counts(self):
+        from repro.cost.exact import count_cholesky_messages
+        from repro.cost.metrics import q_cholesky
+        from repro.distribution import TileDistribution
+
+        p = sts_pattern(9)
+        dist = TileDistribution(p, 18, symmetric=True)
+        cc = count_cholesky_messages(dist)
+        assert cc.total == pytest.approx(q_cholesky(p, 18), rel=0.3)
+
+    def test_beats_gcrm_search_where_applicable(self):
+        """For STS-expressible P the explicit pattern is at least as
+        good as a modest GCR&M search."""
+        from repro.patterns.gcrm import gcrm_search
+
+        for r in (9, 13):
+            p = sts_pattern(r)
+            searched = gcrm_search(p.nnodes, seeds=range(8), max_factor=3.0)
+            assert p.cost_cholesky <= searched.cost + 1e-9

@@ -1,0 +1,139 @@
+"""Tests for graph bounds and the collective-communication option."""
+
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import build_cholesky_graph
+from repro.dla.lu import build_lu_graph
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.sbc import sbc
+from repro.runtime.analysis import critical_path, makespan_bounds
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.graph import TaskGraph, TaskKind
+from repro.runtime.simulator import simulate
+
+
+def cluster(nnodes=2, cores=2, bw=1e9, multicast="p2p", speeds=()):
+    return ClusterSpec(nnodes=nnodes, cores_per_node=cores, core_gflops=1.0,
+                       bandwidth_Bps=bw, latency_s=0.0, tile_size=10,
+                       multicast=multicast, node_speeds=speeds)
+
+
+MSG = 800 / 1e9
+
+
+class TestCriticalPath:
+    def test_empty(self):
+        g = TaskGraph(n_data=1, nnodes=1)
+        assert critical_path(g, cluster(1)) == 0.0
+
+    def test_chain(self):
+        g = TaskGraph(n_data=1, nnodes=1)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        g.submit(TaskKind.GEMM, 0, 0, 1, 0, 2e9, (g.current(0),), 0)
+        assert critical_path(g, cluster(1)) == pytest.approx(3.0)
+
+    def test_cross_node_edge_adds_message(self):
+        g = TaskGraph(n_data=2, nnodes=2)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        g.submit(TaskKind.GEMM, 1, 0, 0, 1, 1e9, (g.current(1), (0, 1)), 1)
+        assert critical_path(g, cluster(2)) == pytest.approx(2.0 + MSG)
+
+    def test_independent_tasks_take_max(self):
+        g = TaskGraph(n_data=2, nnodes=1)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        g.submit(TaskKind.GEMM, 1, 0, 0, 0, 5e9, (g.current(1),), 1)
+        assert critical_path(g, cluster(1)) == pytest.approx(5.0)
+
+    def test_heterogeneous_speeds_shorten_path(self):
+        g = TaskGraph(n_data=1, nnodes=2)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 1, 2e9, (g.current(0),), 0)
+        slow = critical_path(g, cluster(2))
+        fast = critical_path(g, cluster(2, speeds=(1.0, 2.0)))
+        assert fast == pytest.approx(slow / 2)
+
+
+class TestBounds:
+    def build(self, pat, n=8):
+        dist = TileDistribution(pat, n)
+        return build_lu_graph(dist, 10)
+
+    def test_makespan_dominates_all_bounds(self):
+        for pat in (bc2d(2, 2), bc2d(4, 1), g2dbc(5)):
+            graph, home = self.build(pat)
+            cl = cluster(pat.nnodes)
+            bounds = makespan_bounds(graph, cl)
+            tr = simulate(graph, cl, data_home=home)
+            assert tr.makespan >= bounds.work_bound - 1e-9
+            assert tr.makespan >= bounds.node_work_bound - 1e-9
+            assert tr.makespan >= bounds.critical_path - 1e-9
+            assert tr.makespan >= bounds.best - 1e-9
+
+    def test_per_node_flops_sum(self):
+        graph, _ = self.build(bc2d(2, 2))
+        bounds = makespan_bounds(graph, cluster(4))
+        assert bounds.per_node_flops.sum() == pytest.approx(graph.total_flops)
+
+    def test_node_work_bound_at_least_work_bound(self):
+        graph, _ = self.build(bc2d(4, 1))
+        bounds = makespan_bounds(graph, cluster(4))
+        assert bounds.node_work_bound >= bounds.work_bound - 1e-12
+
+    def test_limiting_factor_names_a_bound(self):
+        graph, home = self.build(bc2d(2, 2))
+        cl = cluster(4)
+        bounds = makespan_bounds(graph, cl)
+        tr = simulate(graph, cl, data_home=home)
+        assert bounds.limiting_factor(tr.makespan) in (
+            "work", "node-balance", "critical-path",
+        )
+
+
+class TestTreeMulticast:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="multicast"):
+            cluster(2, multicast="gossip")
+
+    def test_single_consumer_same_as_p2p(self):
+        g = TaskGraph(n_data=2, nnodes=2)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        g.submit(TaskKind.GEMM, 1, 0, 0, 1, 1e9, (g.current(1), (0, 1)), 1)
+        a = simulate(g, cluster(2, multicast="p2p")).makespan
+        b = simulate(g, cluster(2, multicast="tree")).makespan
+        assert a == pytest.approx(b)
+
+    def _broadcast_graph(self, fanout):
+        g = TaskGraph(n_data=fanout + 1, nnodes=fanout + 1)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        for d in range(1, fanout + 1):
+            g.submit(TaskKind.GEMM, d, 0, 0, d, 1e9, (g.current(d), (0, 1)), d)
+        return g
+
+    def test_tree_beats_p2p_on_wide_broadcast(self):
+        g = self._broadcast_graph(8)
+        p2p = simulate(g, cluster(9, multicast="p2p")).makespan
+        tree = simulate(g, cluster(9, multicast="tree")).makespan
+        # 8 serialized sends vs ceil(log2(9)) = 4 rounds
+        assert tree < p2p
+        assert p2p == pytest.approx(1.0 + 8 * MSG + 1.0)
+        assert tree == pytest.approx(1.0 + 4 * MSG + 1.0)
+
+    def test_message_counts_identical(self):
+        g = self._broadcast_graph(6)
+        a = simulate(g, cluster(7, multicast="p2p"))
+        b = simulate(g, cluster(7, multicast="tree"))
+        assert a.n_messages == b.n_messages == 6
+
+    def test_lu_tree_no_slower(self):
+        dist = TileDistribution(bc2d(4, 1), 8)
+        graph, home = build_lu_graph(dist, 10)
+        p2p = simulate(graph, cluster(4, multicast="p2p"), data_home=home).makespan
+        tree = simulate(graph, cluster(4, multicast="tree"), data_home=home).makespan
+        assert tree <= p2p + 1e-12
+
+    def test_cholesky_tree_runs(self):
+        dist = TileDistribution(sbc(10), 8, symmetric=True)
+        graph, home = build_cholesky_graph(dist, 10)
+        tr = simulate(graph, cluster(10, multicast="tree"), data_home=home)
+        assert tr.n_tasks == len(graph)

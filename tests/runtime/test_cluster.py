@@ -1,0 +1,50 @@
+"""Tests for the cluster machine model."""
+
+import pytest
+
+from repro.runtime.cluster import ClusterSpec, paper_cluster
+
+
+class TestClusterSpec:
+    def test_tile_bytes(self):
+        c = ClusterSpec(nnodes=1, tile_size=500, dtype_bytes=8)
+        assert c.tile_bytes == 2_000_000
+
+    def test_node_flops(self):
+        c = ClusterSpec(nnodes=1, cores_per_node=10, core_gflops=2.0)
+        assert c.node_flops == 2e10
+
+    def test_task_time(self):
+        c = ClusterSpec(nnodes=1, core_gflops=1.0)
+        assert c.task_time(5e9) == pytest.approx(5.0)
+
+    def test_message_time(self):
+        c = ClusterSpec(nnodes=1, tile_size=10, bandwidth_Bps=800.0, latency_s=0.25)
+        assert c.message_time() == pytest.approx(0.25 + 1.0)
+
+    def test_comm_compute_ratio_decreases_with_bandwidth(self):
+        lo = ClusterSpec(nnodes=1, bandwidth_Bps=1e9).comm_compute_ratio()
+        hi = ClusterSpec(nnodes=1, bandwidth_Bps=1e10).comm_compute_ratio()
+        assert hi < lo
+
+    def test_with_nodes(self):
+        c = paper_cluster(4)
+        assert c.with_nodes(9).nnodes == 9
+        assert c.with_nodes(9).core_gflops == c.core_gflops
+
+    def test_frozen(self):
+        c = paper_cluster(4)
+        with pytest.raises(Exception):
+            c.nnodes = 5
+
+
+class TestPaperCluster:
+    def test_matches_platform_description(self):
+        c = paper_cluster(44)
+        assert c.nnodes == 44
+        assert c.cores_per_node == 34  # 36 minus scheduler + MPI cores
+        assert c.bandwidth_Bps == 12.5e9  # 100 Gb/s OmniPath
+        assert c.tile_size == 500
+
+    def test_tile_size_override(self):
+        assert paper_cluster(4, tile_size=320).tile_size == 320

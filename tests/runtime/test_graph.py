@@ -1,0 +1,98 @@
+"""Tests for the version-based task graph."""
+
+import pytest
+
+from repro.runtime.graph import TaskGraph, TaskKind
+
+
+def make_graph():
+    return TaskGraph(n_data=4, nnodes=2)
+
+
+class TestVersioning:
+    def test_initial_version_zero(self):
+        g = make_graph()
+        assert g.version(0) == 0
+        assert g.current(0) == (0, 0)
+
+    def test_submit_bumps_version(self):
+        g = make_graph()
+        t = g.submit(TaskKind.GETRF, 0, 0, 0, 0, 10.0, (g.current(0),), 0)
+        assert t.write == (0, 1)
+        assert g.version(0) == 1
+        assert g.producer[(0, 1)] == t.tid
+
+    def test_tids_sequential(self):
+        g = make_graph()
+        for i in range(3):
+            t = g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+            assert t.tid == i
+        assert len(g) == 3
+
+    def test_total_flops_accumulates(self):
+        g = make_graph()
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 5.0, (), 0)
+        g.submit(TaskKind.GEMM, 0, 1, 0, 0, 7.0, (), 1)
+        assert g.total_flops == 12.0
+
+
+class TestDependencies:
+    def test_producer_dependency(self):
+        g = make_graph()
+        t1 = g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        t2 = g.submit(TaskKind.TRSM, 1, 0, 0, 1, 1.0, (g.current(1), g.current(0)), 1)
+        assert g.dependencies(t2) == [t1.tid]
+
+    def test_version0_reads_have_no_producer(self):
+        g = make_graph()
+        t = g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        assert g.dependencies(t) == []
+
+    def test_waw_chain_via_inplace_reads(self):
+        g = make_graph()
+        t1 = g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        t2 = g.submit(TaskKind.GEMM, 0, 0, 1, 0, 1.0, (g.current(0),), 0)
+        assert g.dependencies(t2) == [t1.tid]
+
+
+class TestConsumersAndMessages:
+    def test_consumers_by_version(self):
+        g = make_graph()
+        g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        g.submit(TaskKind.TRSM, 1, 0, 0, 1, 1.0, (g.current(1), g.current(0)), 1)
+        g.submit(TaskKind.TRSM, 0, 1, 0, 0, 1.0, (g.current(2), g.current(0)), 2)
+        consumers = g.consumers_by_version()
+        assert consumers[(0, 1)] == {0, 1}
+
+    def test_message_count_remote_readers_only(self):
+        g = make_graph()
+        g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        # two tasks on node 1 read version (0,1): ONE message
+        g.submit(TaskKind.TRSM, 1, 0, 0, 1, 1.0, (g.current(1), (0, 1)), 1)
+        g.submit(TaskKind.TRSM, 0, 1, 0, 1, 1.0, (g.current(2), (0, 1)), 2)
+        assert g.message_count() == 1
+
+    def test_local_reads_are_free(self):
+        g = make_graph()
+        g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        g.submit(TaskKind.TRSM, 1, 0, 0, 0, 1.0, (g.current(1), (0, 1)), 1)
+        assert g.message_count() == 0
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        g = make_graph()
+        g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, (g.current(0),), 0)
+        g.submit(TaskKind.TRSM, 1, 0, 0, 1, 1.0, (g.current(1), g.current(0)), 1)
+        g.validate()
+
+    def test_read_of_future_version_detected(self):
+        g = make_graph()
+        g.submit(TaskKind.GETRF, 0, 0, 0, 0, 1.0, ((1, 5),), 0)
+        with pytest.raises(ValueError, match="before it is produced"):
+            g.validate()
+
+    def test_repr_compact(self):
+        g = make_graph()
+        t = g.submit(TaskKind.GEMM, 2, 3, 1, 0, 1.0, (), 0)
+        assert repr(t) == "GEMM(2,3;k=1)@0"

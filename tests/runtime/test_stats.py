@@ -1,0 +1,101 @@
+"""Tests for the schedule statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import build_cholesky_graph
+from repro.dla.lu import build_lu_graph
+from repro.patterns.bc2d import bc2d
+from repro.patterns.sbc import sbc
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.graph import TaskGraph, TaskKind
+from repro.runtime.simulator import simulate
+from repro.runtime.stats import compute_stats, concurrency_profile, iteration_overlap
+
+
+def cluster(nnodes, cores=2):
+    return ClusterSpec(nnodes=nnodes, cores_per_node=cores, core_gflops=1.0,
+                       bandwidth_Bps=1e9, latency_s=0.0, tile_size=8)
+
+
+def lu_run(pattern, n=8, cores=2):
+    dist = TileDistribution(pattern, n)
+    graph, home = build_lu_graph(dist, 8)
+    trace = simulate(graph, cluster(pattern.nnodes, cores), data_home=home,
+                     record_tasks=True)
+    return graph, trace
+
+
+class TestComputeStats:
+    def test_requires_records(self):
+        dist = TileDistribution(bc2d(2, 2), 4)
+        graph, home = build_lu_graph(dist, 8)
+        trace = simulate(graph, cluster(4), data_home=home)
+        with pytest.raises(ValueError):
+            compute_stats(trace, graph)
+
+    def test_kind_times_cover_busy_time(self):
+        graph, trace = lu_run(bc2d(2, 2))
+        stats = compute_stats(trace, graph)
+        assert sum(stats.time_by_kind.values()) == pytest.approx(trace.busy_time.sum())
+
+    def test_kind_counts(self):
+        graph, trace = lu_run(bc2d(2, 2), n=6)
+        stats = compute_stats(trace, graph)
+        assert stats.count_by_kind["GETRF"] == 6
+        assert sum(stats.count_by_kind.values()) == len(graph)
+
+    def test_gemm_dominates_large_lu(self):
+        graph, trace = lu_run(bc2d(2, 2), n=10)
+        stats = compute_stats(trace, graph)
+        assert stats.busiest_kind() == "GEMM"
+
+    def test_parallelism_bounds(self):
+        graph, trace = lu_run(bc2d(2, 2), n=8, cores=2)
+        stats = compute_stats(trace, graph)
+        total_cores = 8
+        assert 0 < stats.avg_parallelism <= stats.peak_parallelism <= total_cores
+
+    def test_idle_fraction_in_range(self):
+        graph, trace = lu_run(bc2d(2, 2))
+        stats = compute_stats(trace, graph)
+        assert (stats.node_idle_fraction >= -1e-9).all()
+        assert (stats.node_idle_fraction <= 1.0).all()
+
+
+class TestConcurrency:
+    def test_profile_returns_to_zero(self):
+        graph, trace = lu_run(bc2d(2, 2), n=5)
+        profile = concurrency_profile(trace)
+        assert profile[-1][1] == 0
+        assert all(running >= 0 for _, running in profile)
+
+    def test_single_task_profile(self):
+        g = TaskGraph(n_data=1, nnodes=1)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        trace = simulate(g, cluster(1), record_tasks=True)
+        profile = concurrency_profile(trace)
+        assert profile[0] == (0.0, 1)
+        assert profile[-1][1] == 0
+
+
+class TestIterationOverlap:
+    def test_sequential_chain_no_overlap(self):
+        g = TaskGraph(n_data=1, nnodes=1)
+        for k in range(3):
+            g.submit(TaskKind.GEMM, 0, 0, k, 0, 1e9, (g.current(0),), 0)
+        trace = simulate(g, cluster(1), record_tasks=True)
+        assert iteration_overlap(trace, g) == 1
+
+    def test_lu_pipelines_iterations(self):
+        """The task-based model overlaps iterations (Section II-C) —
+        the whole point of avoiding fork-join synchronization."""
+        graph, trace = lu_run(bc2d(2, 2), n=10, cores=4)
+        assert iteration_overlap(trace, graph) >= 2
+
+    def test_cholesky_pipelines_iterations(self):
+        dist = TileDistribution(sbc(10), 10, symmetric=True)
+        graph, home = build_cholesky_graph(dist, 8)
+        trace = simulate(graph, cluster(10, 2), data_home=home, record_tasks=True)
+        assert iteration_overlap(trace, graph) >= 2

@@ -1,0 +1,116 @@
+"""Tests for trace export (Chrome tracing, text Gantt) and memory stats."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.lu import build_lu_graph
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.runtime.analysis import memory_footprint
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.simulator import simulate
+from repro.runtime.tracefmt import save_chrome_trace, text_gantt, to_chrome_trace
+
+
+def run(pattern, n=6, record=True):
+    dist = TileDistribution(pattern, n)
+    graph, home = build_lu_graph(dist, 8)
+    cl = ClusterSpec(nnodes=pattern.nnodes, cores_per_node=2, core_gflops=1.0,
+                     bandwidth_Bps=1e9, latency_s=0.0, tile_size=8)
+    return graph, simulate(graph, cl, data_home=home, record_tasks=record), home, cl
+
+
+class TestChromeTrace:
+    def test_requires_records(self):
+        graph, trace, _, _ = run(bc2d(2, 2), record=False)
+        with pytest.raises(ValueError, match="record_tasks"):
+            to_chrome_trace(trace)
+
+    def test_event_count(self):
+        graph, trace, _, _ = run(bc2d(2, 2))
+        events = to_chrome_trace(trace, graph)
+        x_events = [e for e in events if e.get("ph") == "X"]
+        assert len(x_events) == len(graph)
+
+    def test_events_well_formed(self):
+        graph, trace, _, _ = run(bc2d(2, 2))
+        for e in to_chrome_trace(trace, graph):
+            if e.get("ph") == "X":
+                assert e["dur"] >= 0
+                assert 0 <= e["pid"] < 4
+                assert "GETRF" in e["name"] or "TRSM" in e["name"] or "GEMM" in e["name"]
+
+    def test_lane_assignment_no_overlap(self):
+        graph, trace, _, _ = run(bc2d(2, 2))
+        events = [e for e in to_chrome_trace(trace) if e.get("ph") == "X"]
+        by_lane = {}
+        for e in events:
+            by_lane.setdefault((e["pid"], e["tid"]), []).append((e["ts"], e["ts"] + e["dur"]))
+        for spans in by_lane.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_save(self, tmp_path):
+        graph, trace, _, _ = run(bc2d(2, 2))
+        path = tmp_path / "trace.json"
+        save_chrome_trace(trace, path, graph)
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+
+
+class TestTextGantt:
+    def test_rows_per_node(self):
+        _, trace, _, _ = run(bc2d(2, 2))
+        gantt = text_gantt(trace, width=40)
+        assert gantt.count("node") == 4
+
+    def test_busy_markers_present(self):
+        _, trace, _, _ = run(bc2d(2, 2))
+        assert "#" in text_gantt(trace)
+
+    def test_requires_records(self):
+        _, trace, _, _ = run(bc2d(2, 2), record=False)
+        with pytest.raises(ValueError):
+            text_gantt(trace)
+
+
+class TestMemoryFootprint:
+    def test_single_node_owns_everything(self):
+        graph, _, home, cl = run(bc2d(1, 1), n=5)
+        stats = memory_footprint(graph, cl, home)
+        assert stats.owned_tiles[0] == 25
+        assert stats.cached_tiles[0] == 0
+        assert stats.overhead() == 0.0
+
+    def test_owned_matches_distribution(self):
+        pat = bc2d(2, 2)
+        dist = TileDistribution(pat, 6)
+        graph, home = build_lu_graph(dist, 8)
+        cl = ClusterSpec(nnodes=4, cores_per_node=2, tile_size=8)
+        stats = memory_footprint(graph, cl, home)
+        assert (stats.owned_tiles == dist.loads).all()
+
+    def test_bad_pattern_caches_more(self):
+        """23x1 must cache far more remote tiles than G-2DBC."""
+        n = 12
+        caches = {}
+        for pat in (g2dbc(23), bc2d(23, 1)):
+            dist = TileDistribution(pat, n)
+            graph, home = build_lu_graph(dist, 8)
+            cl = ClusterSpec(nnodes=23, cores_per_node=2, tile_size=8)
+            caches[pat.name] = memory_footprint(graph, cl, home).cached_tiles.sum()
+        assert caches["2DBC 23x1"] > caches["G-2DBC 20x23 (P=23)"]
+
+    def test_peak_bytes(self):
+        graph, _, home, cl = run(bc2d(2, 2), n=4)
+        stats = memory_footprint(graph, cl, home)
+        assert (stats.peak_bytes == stats.peak_tiles * cl.tile_bytes).all()
+
+    def test_without_home_uses_first_writer(self):
+        graph, _, _, cl = run(bc2d(2, 2), n=4)
+        stats = memory_footprint(graph, cl, data_home=None)
+        assert stats.owned_tiles.sum() == 16

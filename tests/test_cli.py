@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pattern_args(self):
+        args = build_parser().parse_args(["pattern", "-P", "23", "--show"])
+        assert args.nodes == 23 and args.show
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pattern", "-P", "4", "--family", "nope"])
+
+
+class TestPatternCommand:
+    def test_lu_pattern(self, capsys):
+        assert main(["pattern", "-P", "23", "--kernel", "lu"]) == 0
+        out = capsys.readouterr().out
+        assert "G-2DBC" in out
+        assert "20x23" in out
+        assert "9.65" in out
+
+    def test_show_grid(self, capsys):
+        main(["pattern", "-P", "10", "--kernel", "lu", "--show"])
+        out = capsys.readouterr().out
+        assert "\n 0  1  2  3" in out or "0  1  2  3" in out
+
+    def test_save(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["pattern", "-P", "12", "--save", str(path)])
+        data = json.loads(path.read_text())
+        assert data["nnodes"] == 12
+
+    def test_explicit_family(self, capsys):
+        main(["pattern", "-P", "23", "--family", "sbc_within", "--kernel", "cholesky"])
+        out = capsys.readouterr().out
+        assert "P = 21" in out
+
+
+class TestCostCommand:
+    def test_table_printed(self, capsys):
+        assert main(["cost", "-P", "23", "--tiles", "50", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "2dbc" in out and "g2dbc" in out and "gcrm" in out
+
+    def test_sbc_row_when_feasible(self, capsys):
+        main(["cost", "-P", "21", "--tiles", "10", "--seeds", "3"])
+        assert "sbc" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_lu_run(self, capsys):
+        assert main(["simulate", "-P", "6", "--tiles", "8",
+                     "--tile-size", "100", "--kernel", "lu"]) == 0
+        out = capsys.readouterr().out
+        assert "gflops" in out and "n_messages" in out
+
+    def test_cholesky_run(self, capsys):
+        assert main(["simulate", "-P", "10", "--tiles", "8", "--tile-size", "100",
+                     "--kernel", "cholesky", "--seeds", "3"]) == 0
+
+
+class TestDbCommand:
+    def test_writes_database(self, tmp_path, capsys):
+        path = tmp_path / "db.json"
+        assert main(["db", "--max-nodes", "8", "--kernel", "lu",
+                     "--out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert set(data) == {str(P) for P in range(2, 9)}
+
+
+class TestValidateCommand:
+    def test_cholesky_validates(self, capsys):
+        assert main(["validate", "--tiles", "8", "--tile-size", "8",
+                     "--kernel", "cholesky", "-P", "10"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_lu_validates(self, capsys):
+        assert main(["validate", "--tiles", "8", "--tile-size", "8",
+                     "--kernel", "lu", "-P", "6"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_smoke_subset(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--scale", "smoke", "--out", str(out),
+                     "--only", "fig3_table1a"]) == 0
+        assert out.exists()
+        assert "Table Ia" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--scale", "galactic"])

