@@ -11,9 +11,10 @@ from repro.experiments.figures import fig9_gcrm_size_effect
 
 
 @pytest.mark.benchmark(group="fig09")
-def test_fig9_gcrm_size_effect(benchmark, save_result):
+def test_fig9_gcrm_size_effect(benchmark, save_result, bench_jobs):
     result = benchmark.pedantic(
-        lambda: fig9_gcrm_size_effect(P=23, seeds=range(25), max_factor=6.0),
+        lambda: fig9_gcrm_size_effect(P=23, seeds=range(25), max_factor=6.0,
+                                      jobs=bench_jobs),
         rounds=1,
         iterations=1,
     )

@@ -11,9 +11,10 @@ from repro.experiments.figures import table1b_cholesky_patterns
 
 
 @pytest.mark.benchmark(group="table1b")
-def test_table1b(benchmark, save_result):
+def test_table1b(benchmark, save_result, bench_jobs):
     result = benchmark.pedantic(
-        lambda: table1b_cholesky_patterns(seeds=range(40), max_factor=5.0),
+        lambda: table1b_cholesky_patterns(seeds=range(40), max_factor=5.0,
+                                          jobs=bench_jobs),
         rounds=1,
         iterations=1,
     )

@@ -5,11 +5,23 @@ its rendered rows under ``benchmarks/results/`` (printed output is also
 emitted; run pytest with ``-s`` to see it live).
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for GCR&M search sweeps inside the benchmarks.
+#: Results are jobs-independent (see repro.patterns.search), so this
+#: only changes wall-clock time; 0 = auto-select from the CPU count.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+@pytest.fixture
+def bench_jobs() -> int:
+    """GCR&M search parallelism for benchmarks (REPRO_BENCH_JOBS env var)."""
+    return BENCH_JOBS
 
 
 @pytest.fixture

@@ -38,6 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def jobs_count(text):
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 0 (0 = auto-select), got {value}")
+        return value
+
+    def add_search_flags(p):
+        """GCR&M search-engine knobs shared by pattern-building commands."""
+        p.add_argument("--jobs", "-j", type=jobs_count, default=1, metavar="N",
+                       help="worker processes for the GCR&M search "
+                            "(1 = serial, 0 = auto-select)")
+        p.add_argument("--no-prune", action="store_true",
+                       help="evaluate every feasible pattern size instead of "
+                            "stopping near the sqrt(3P/2) cost floor")
+
     p = sub.add_parser("pattern", help="build and inspect a pattern")
     p.add_argument("--nodes", "-P", type=int, required=True)
     p.add_argument("--kernel", choices=("lu", "cholesky"), default="lu")
@@ -45,12 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=20, help="GCR&M search budget")
     p.add_argument("--show", action="store_true", help="print the grid")
     p.add_argument("--save", metavar="FILE", default=None, help="write JSON")
+    add_search_flags(p)
 
     p = sub.add_parser("cost", help="compare pattern families for one P")
     p.add_argument("--nodes", "-P", type=int, required=True)
     p.add_argument("--tiles", type=int, default=100,
                    help="matrix size in tiles for volume predictions")
     p.add_argument("--seeds", type=int, default=20)
+    add_search_flags(p)
 
     p = sub.add_parser("simulate", help="simulate a factorization run")
     p.add_argument("--nodes", "-P", type=int, required=True)
@@ -59,12 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", choices=sorted(PATTERN_FAMILIES), default=None)
     p.add_argument("--tile-size", type=int, default=500)
     p.add_argument("--seeds", type=int, default=10)
+    add_search_flags(p)
 
     p = sub.add_parser("db", help="precompute a pattern database")
     p.add_argument("--max-nodes", type=int, required=True)
     p.add_argument("--kernel", choices=("lu", "cholesky"), default="cholesky")
     p.add_argument("--out", metavar="FILE", required=True)
     p.add_argument("--seeds", type=int, default=20)
+    add_search_flags(p)
 
     p = sub.add_parser("report", help="regenerate every paper table/figure")
     p.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
@@ -80,12 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _search_kwargs(args) -> dict:
+    """Translate --jobs/--no-prune into gcrm_search keywords."""
+    kw = {}
+    if getattr(args, "jobs", None) is not None:
+        kw["jobs"] = args.jobs
+    if getattr(args, "no_prune", False):
+        kw["prune"] = False
+    return kw
+
+
 def _get_pattern(args) -> Pattern:
     kw = {}
     if getattr(args, "seeds", None) is not None:
         kw["seeds"] = range(args.seeds)
-    return best_pattern(args.nodes, kernel=getattr(args, "kernel", "lu"),
-                        family=args.family, **kw)
+    kernel = getattr(args, "kernel", "lu")
+    if kernel == "cholesky" or args.family == "gcrm":
+        kw.update(_search_kwargs(args))
+    return best_pattern(args.nodes, kernel=kernel, family=args.family, **kw)
 
 
 def cmd_pattern(args) -> int:
@@ -115,7 +147,8 @@ def cmd_cost(args) -> int:
     from .patterns.gcrm import gcrm_search
 
     try:
-        rows.append(("gcrm", None, gcrm_search(P, seeds=range(args.seeds)).cost))
+        rows.append(("gcrm", None,
+                     gcrm_search(P, seeds=range(args.seeds), **_search_kwargs(args)).cost))
     except ValueError:
         pass
     for name, t_lu, t_chol in rows:
@@ -144,7 +177,8 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_db(args) -> int:
-    db = PatternDatabase(kernel=args.kernel, seeds=args.seeds)
+    db = PatternDatabase(kernel=args.kernel, seeds=args.seeds,
+                         jobs=args.jobs, prune=not args.no_prune)
     db.build(range(2, args.max_nodes + 1))
     patterns = {P: db.get(P) for P in range(2, args.max_nodes + 1)}
     save_database(patterns, args.out)

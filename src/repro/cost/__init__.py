@@ -1,5 +1,6 @@
 """Communication cost models: closed forms, lower bounds, exact counts."""
 
+from .cache import COST_CACHE, CacheInfo, CostCache, pattern_key
 from .bounds import (
     cholesky_io_lower_bound,
     cholesky_io_lower_bound_symmetric,
@@ -24,6 +25,10 @@ from .replication import (
 )
 
 __all__ = [
+    "COST_CACHE",
+    "CacheInfo",
+    "CostCache",
+    "pattern_key",
     "CommCount",
     "CommModel",
     "communication_cost",

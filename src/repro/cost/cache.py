@@ -1,0 +1,129 @@
+"""Cross-instance memoization of pattern communication costs.
+
+:class:`~repro.patterns.base.Pattern` already caches its statistics per
+*instance* (``functools.cached_property``), but the search engine, the
+benchmarks and the simulator keep rebuilding equal grids as distinct
+instances — every GCR&M seed re-derives ``x̄ / ȳ / z̄`` for patterns that
+were already scored, and a database reload re-scores every entry.  This
+module provides a process-global LRU cache keyed on a *canonical pattern
+hash* (grid bytes + shape + node count) so each distinct grid is scored
+exactly once per kernel.
+
+The module is deliberately free of intra-package imports: it is pulled
+in lazily from ``repro.patterns.base`` (which ``repro.cost`` itself
+imports), and eagerly by worker processes of the parallel search.
+
+Invalidation: pattern grids are immutable (``Pattern`` marks the array
+read-only), so entries never go stale; the cache is bounded by
+``maxsize`` with least-recently-used eviction and can be cleared or
+resized explicitly (:meth:`CostCache.clear`, :meth:`CostCache.resize`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+__all__ = ["CacheInfo", "CostCache", "COST_CACHE", "pattern_key"]
+
+
+class CacheInfo(NamedTuple):
+    """Snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def pattern_key(grid: np.ndarray, nnodes: int) -> tuple:
+    """Canonical, hashable identity of a pattern grid.
+
+    Two patterns with equal shape, node count and cell-by-cell contents
+    map to the same key regardless of how they were constructed.  The
+    grid bytes are digested (BLAKE2b-128) so keys stay small even for
+    large search patterns.
+    """
+    arr = np.ascontiguousarray(grid, dtype=np.int64)
+    digest = hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
+    return (arr.shape, int(nnodes), digest)
+
+
+class CostCache:
+    """Thread-safe LRU cache for scalar pattern metrics.
+
+    ``maxsize=0`` disables caching entirely (every lookup recomputes),
+    which keeps the call sites branch-free.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self._maxsize = maxsize
+        self._store: OrderedDict[tuple, float] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def get_or_compute(self, key: tuple, compute: Callable[[], float]) -> float:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        ``compute`` runs outside the lock; if it raises, nothing is
+        cached (e.g. a Cholesky cost requested on a non-square pattern).
+        """
+        if self._maxsize == 0:
+            return compute()
+        with self._lock:
+            if key in self._store:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+        value = compute()
+        with self._lock:
+            self._misses += 1
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self._maxsize:
+                self._store.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity, evicting oldest entries if shrinking."""
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        with self._lock:
+            self._maxsize = maxsize
+            while len(self._store) > maxsize:
+                self._store.popitem(last=False)
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, self._maxsize, len(self._store))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+
+#: Process-global cost cache used by :class:`repro.patterns.base.Pattern`.
+COST_CACHE = CostCache()

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..patterns.bc2d import bc2d, bc2d_cost, best_2dbc, best_grid
 from ..patterns.g2dbc import g2dbc, g2dbc_cost, g2dbc_cost_bound, g2dbc_params
-from ..patterns.gcrm import feasible_sizes, gcrm, gcrm_cost_floor, gcrm_search
+from ..patterns.gcrm import feasible_sizes, gcrm_cost_floor, gcrm_search
 from ..patterns.sbc import best_sbc_within, sbc, sbc_cost, sbc_feasible
 from ..cost.bounds import lu_pattern_lower_bound, sbc_cost_curve
 from .harness import ResultRow, format_rows, sweep
@@ -140,12 +140,17 @@ def table1a_lu_patterns() -> FigureResult:
 # Table Ib — Cholesky pattern dimensions and costs
 # ---------------------------------------------------------------------------
 def table1b_cholesky_patterns(seeds: Iterable[int] = range(20),
-                              max_factor: float = 4.0) -> FigureResult:
+                              max_factor: float = 4.0,
+                              jobs: Optional[int] = 1,
+                              prune: bool = False) -> FigureResult:
     """SBC vs GCR&M dimensions/costs (Table Ib).
 
     The SBC column shows the best SBC using at most P nodes; the GCR&M
     column the search result on exactly P nodes (for the paper's
-    highlighted cases P = 23, 31, 35, 39).
+    highlighted cases P = 23, 31, 35, 39).  ``jobs`` parallelizes each
+    search (results are jobs-independent, see
+    :mod:`repro.patterns.search`); pruning is off by default because
+    this table reproduces the paper's exhaustive protocol.
     """
     rows = []
     for P in (21, 23, 28, 31, 32, 35, 36, 39):
@@ -159,7 +164,8 @@ def table1b_cholesky_patterns(seeds: Iterable[int] = range(20),
             row["sbc_dim"] = f"{pat.nrows}x{pat.ncols} (P'={pat.nnodes})"
             row["sbc_T"] = pat.cost_cholesky
         if P in (23, 31, 35, 39):
-            res = gcrm_search(P, seeds=seeds, max_factor=max_factor)
+            res = gcrm_search(P, seeds=seeds, max_factor=max_factor,
+                              jobs=jobs, prune=prune)
             row["gcrm_dim"] = f"{res.pattern.nrows}x{res.pattern.ncols}"
             row["gcrm_T"] = res.cost
         else:
@@ -235,11 +241,32 @@ def fig7b_strong_scaling_cholesky(n_tiles: int = 48, tile_size: int = 500,
 # Figure 9 — effect of pattern size and random seed (GCR&M, P = 23)
 # ---------------------------------------------------------------------------
 def fig9_gcrm_size_effect(P: int = 23, seeds: Iterable[int] = range(25),
-                          max_factor: float = 6.0) -> FigureResult:
-    rows = []
+                          max_factor: float = 6.0,
+                          jobs: Optional[int] = 1) -> FigureResult:
+    """Per-(r, seed) cost spread, evaluated on the parallel search engine.
+
+    The figure needs every cost (not just the winner), so the sweep runs
+    with pruning disabled; costs are identical for any ``jobs``.
+    """
+    from ..patterns.search import SearchTask, run_search
+
     seeds = list(seeds)
-    for r in feasible_sizes(P, max_factor=max_factor):
-        costs = [gcrm(P, r, seed=s).cost for s in seeds]
+    sizes = feasible_sizes(P, max_factor=max_factor)
+    groups, index = [], 0
+    for r in sizes:
+        tasks = []
+        for s in seeds:
+            tasks.append(SearchTask(index=index, r=r, seed=s))
+            index += 1
+        groups.append((r, tasks))
+    report = run_search(P, groups, jobs=jobs, prune=False)
+
+    by_size: Dict[int, list] = {r: [] for r in sizes}
+    for o in sorted(report.outcomes, key=lambda o: o.index):
+        by_size[o.r].append(o.cost)
+    rows = []
+    for r in sizes:
+        costs = by_size[r]
         rows.append({
             "r": r,
             "min_cost": min(costs),

@@ -210,15 +210,32 @@ class Pattern:
         """z̄ — average number of distinct nodes per colrow (square only)."""
         return float(self.colrow_counts.mean())
 
+    @cached_property
+    def cache_key(self) -> tuple:
+        """Canonical identity used by the global cost memoization cache."""
+        from ..cost.cache import pattern_key  # lazy: repro.cost imports this module
+
+        return pattern_key(self._grid, self._nnodes)
+
+    def _memoized(self, metric: str, compute) -> float:
+        """Look ``metric`` up in the process-global LRU cost cache.
+
+        Equal grids built as distinct instances (search seeds, database
+        reloads, benchmark reruns) share one computation.
+        """
+        from ..cost.cache import COST_CACHE  # lazy: repro.cost imports this module
+
+        return COST_CACHE.get_or_compute(self.cache_key + (metric,), compute)
+
     @property
     def cost_lu(self) -> float:
         """Communication cost ``T(G) = x̄ + ȳ`` for LU (Section III-C)."""
-        return self.mean_row_count + self.mean_col_count
+        return self._memoized("lu", lambda: self.mean_row_count + self.mean_col_count)
 
     @property
     def cost_cholesky(self) -> float:
         """Communication cost ``T(G) = z̄`` for Cholesky (square patterns)."""
-        return self.mean_colrow_count
+        return self._memoized("cholesky", lambda: self.mean_colrow_count)
 
     def cost(self, kernel: str) -> float:
         """Dispatch on ``kernel`` in {"lu", "cholesky"}."""

@@ -62,7 +62,13 @@ def feasible_size(r: int, P: int) -> bool:
 
 
 def feasible_sizes(P: int, max_factor: float = 6.0) -> list[int]:
-    """All feasible pattern sizes ``r`` with ``2 ≤ r ≤ max_factor·√P``."""
+    """All feasible pattern sizes ``r`` with ``2 ≤ r ≤ max_factor·√P``.
+
+    ``P < 1`` (no nodes) admits no pattern and returns ``[]`` rather
+    than propagating a ``math.sqrt`` domain error for negative ``P``.
+    """
+    if P < 1:
+        return []
     upper = int(max_factor * math.sqrt(P))
     return [r for r in range(2, max(upper, 2) + 1) if feasible_size(r, P)]
 
@@ -74,9 +80,10 @@ class GCRMResult:
     pattern: Pattern
     colrows: list[set[int]]  #: A[p] — colrows each node may appear on
     cost: float
-    seed: Optional[int] = None
+    seed: Optional[object] = None  #: int seed or SeedSequence spawn key
     phase2_leftover: int = 0  #: cells assigned by the final greedy step
     loads: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    report: Optional[object] = None  #: SearchReport when produced by gcrm_search
 
     @property
     def uses_all_nodes(self) -> bool:
@@ -182,17 +189,24 @@ def _matching_assign(cells: np.ndarray, cover: np.ndarray, copies: np.ndarray) -
     return out
 
 
-def gcrm(P: int, r: int, seed: Optional[int] = None,
-         tie_break: str = "usage_random") -> GCRMResult:
+def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResult:
     """Run GCR&M for ``P`` nodes and pattern size ``r`` (Algorithm 1).
 
-    ``tie_break`` selects the phase-1 colrow tie policy (see
-    :data:`TIE_BREAKS`); the paper's algorithm is ``"usage_random"``.
+    ``seed`` may be an integer, ``None``, or a
+    :class:`numpy.random.SeedSequence` (the parallel search derives one
+    per task via ``SeedSequence.spawn`` so results are independent of
+    execution order).  ``tie_break`` selects the phase-1 colrow tie
+    policy (see :data:`TIE_BREAKS`); the paper's algorithm is
+    ``"usage_random"``.
     """
     if not feasible_size(r, P):
         raise ValueError(f"pattern size r={r} violates Equation 3 for P={P}")
     if tie_break not in TIE_BREAKS:
         raise ValueError(f"tie_break must be one of {TIE_BREAKS}, got {tie_break!r}")
+    if isinstance(seed, np.random.SeedSequence):
+        seed_id: object = tuple(seed.spawn_key)
+    else:
+        seed_id = seed
     rng = np.random.default_rng(seed)
     A = _phase1(P, r, rng, tie_break=tie_break)
 
@@ -239,12 +253,12 @@ def gcrm(P: int, r: int, seed: Optional[int] = None,
 
     grid = np.full((r, r), UNDEFINED, dtype=np.int64)
     grid[ii, jj] = owner
-    pattern = Pattern(grid, nnodes=P, name=f"GCR&M {r}x{r} (P={P}, seed={seed})")
+    pattern = Pattern(grid, nnodes=P, name=f"GCR&M {r}x{r} (P={P}, seed={seed_id})")
     return GCRMResult(
         pattern=pattern,
         colrows=A,
         cost=pattern.cost_cholesky,
-        seed=seed,
+        seed=seed_id,
         phase2_leftover=int(len(leftover)),
         loads=np.bincount(owner, minlength=P),
     )
@@ -255,6 +269,13 @@ def gcrm_search(
     sizes: Optional[Sequence[int]] = None,
     seeds: Iterable[int] = range(100),
     max_factor: float = 6.0,
+    *,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = 1,
+    prune: bool = True,
+    prune_tol: float = 0.05,
+    chunk_size: Optional[int] = None,
+    tie_break: str = "usage_random",
 ) -> GCRMResult:
     """Paper evaluation protocol: best pattern over sizes × seeds.
 
@@ -262,25 +283,77 @@ def gcrm_search(
     run :func:`gcrm` and keep the lowest-cost pattern.  The paper uses
     ``max_factor = 6`` and 100 seeds; smaller budgets give slightly
     worse patterns but identical trends.
+
+    The sweep runs on the engine in :mod:`repro.patterns.search`:
+
+    ``seed``
+        Root seed.  When given, per-task generators are derived with
+        ``SeedSequence(seed).spawn`` and the values in ``seeds`` only
+        set the per-size budget (their count is used, not their
+        values).  When ``None`` (legacy mode), each entry of ``seeds``
+        is used verbatim as a :func:`gcrm` integer seed.  Both modes
+        are bit-identical across ``jobs`` and ``chunk_size``.
+    ``jobs``
+        1 = serial (the legacy reference path), ``>= 2`` = that many
+        worker processes, ``0``/``None`` = auto-select by workload
+        size and CPU count.
+    ``prune`` / ``prune_tol``
+        Stop scanning larger sizes once the running best is within
+        ``prune_tol`` (relative) of the empirical floor ``√(3P/2)``
+        (:func:`gcrm_cost_floor`).  Pruning decisions happen on size
+        boundaries only, so they are identical for every ``jobs``.
+        The first candidate size is always fully evaluated.
+
+    The returned result carries the engine's
+    :class:`~repro.patterns.search.SearchReport` in ``result.report``.
     """
+    from .search import SearchTask, run_search, spawn_task_seeds
+
     if sizes is None:
         sizes = feasible_sizes(P, max_factor)
+    sizes = list(sizes)
     if not sizes:
         raise ValueError(f"no feasible pattern size for P={P}")
     seeds = list(seeds)
-    best: Optional[GCRMResult] = None
+    if not seeds:
+        raise ValueError("gcrm_search needs a non-empty seed budget")
+
+    if seed is not None:
+        material = spawn_task_seeds(seed, len(sizes) * len(seeds))
+    else:
+        material = [s for _ in sizes for s in seeds]
+    groups = []
+    index = 0
     for r in sizes:
-        for s in seeds:
-            res = gcrm(P, r, seed=s)
-            if not res.uses_all_nodes:
-                continue
-            if best is None or res.cost < best.cost - 1e-12:
-                best = res
-    if best is None:
+        tasks = []
+        for _ in seeds:
+            tasks.append(SearchTask(index=index, r=r, seed=material[index]))
+            index += 1
+        groups.append((r, tasks))
+
+    report = run_search(
+        P,
+        groups,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        tie_break=tie_break,
+        prune=prune,
+        prune_floor=gcrm_cost_floor(P),
+        prune_tol=prune_tol,
+    )
+    if report.best_index is None:
         raise ValueError(
             f"GCR&M found no pattern using all {P} nodes; "
             f"increase max_factor or the seed budget"
         )
+    # Rebuild the winner in-process from its task seed: cheaper than
+    # shipping every pattern through IPC, and bit-identical because the
+    # task's RNG depends only on its seed material.
+    winner = next(t for _, tasks in groups for t in tasks
+                  if t.index == report.best_index)
+    best = gcrm(P, winner.r, seed=winner.seed, tie_break=tie_break)
+    assert abs(best.cost - report.best_cost) < 1e-9, "non-deterministic gcrm task"
+    best.report = report
     return best
 
 

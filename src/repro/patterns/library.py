@@ -45,8 +45,10 @@ def _family_sbc_within(P: int, **kw) -> Pattern:
     return best_sbc_within(P)
 
 
-def _family_gcrm(P: int, seeds: Iterable[int] = range(20), max_factor: float = 6.0, **kw) -> Pattern:
-    return gcrm_search(P, seeds=seeds, max_factor=max_factor).pattern
+def _family_gcrm(P: int, seeds: Iterable[int] = range(20), max_factor: float = 6.0,
+                 jobs: Optional[int] = 1, prune: bool = True, **kw) -> Pattern:
+    return gcrm_search(P, seeds=seeds, max_factor=max_factor,
+                       jobs=jobs, prune=prune).pattern
 
 
 def _family_sts(P: int, **kw) -> Pattern:
@@ -98,6 +100,11 @@ def best_pattern(P: int, kernel: str = "lu", family: Optional[str] = None, **kw)
     raise ValueError(f"unknown kernel {kernel!r}")
 
 
+# (gcrm_search accepts jobs=/prune= keywords; best_pattern forwards any
+# extra keyword arguments unchanged, so callers can parallelize the
+# Cholesky search with best_pattern(P, "cholesky", jobs=4).)
+
+
 @dataclass
 class PatternDatabase:
     """In-memory best-pattern-per-P database with lazy construction."""
@@ -105,17 +112,23 @@ class PatternDatabase:
     kernel: str = "cholesky"
     seeds: int = 20
     max_factor: float = 6.0
+    jobs: Optional[int] = 1  #: GCR&M search parallelism (0/None = auto)
+    prune: bool = True  #: stop the search near the sqrt(3P/2) floor
 
     def __post_init__(self):
         self._store: Dict[int, Pattern] = {}
 
     def get(self, P: int) -> Pattern:
         if P not in self._store:
+            kw = {}
+            if self.kernel == "cholesky":
+                kw = {"jobs": self.jobs, "prune": self.prune}
             self._store[P] = best_pattern(
                 P,
                 kernel=self.kernel,
                 seeds=range(self.seeds),
                 max_factor=self.max_factor,
+                **kw,
             )
         return self._store[P]
 

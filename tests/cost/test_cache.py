@@ -1,0 +1,123 @@
+"""Tests for the global cost memoization cache (repro.cost.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.cache import COST_CACHE, CostCache, pattern_key
+from repro.patterns.base import Pattern, PatternError
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_cache():
+    COST_CACHE.clear()
+    yield
+    COST_CACHE.clear()
+
+
+class TestPatternKey:
+    def test_equal_grids_share_key(self):
+        g = [[0, 1], [2, 3]]
+        assert pattern_key(np.array(g), 4) == pattern_key(np.array(g), 4)
+
+    def test_key_distinguishes_contents_shape_nodes(self):
+        base = pattern_key(np.array([[0, 1], [2, 3]]), 4)
+        assert pattern_key(np.array([[0, 1], [3, 2]]), 4) != base
+        assert pattern_key(np.array([[0, 1, 2, 3]]), 4) != base
+        assert pattern_key(np.array([[0, 1], [2, 3]]), 5) != base
+
+
+class TestCostCache:
+    def test_miss_then_hit(self):
+        cache = CostCache(maxsize=10)
+        calls = []
+        fn = lambda: calls.append(1) or 7.0
+        assert cache.get_or_compute(("k",), fn) == 7.0
+        assert cache.get_or_compute(("k",), fn) == 7.0
+        assert len(calls) == 1
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_lru_eviction(self):
+        cache = CostCache(maxsize=2)
+        for k in ("a", "b", "c"):
+            cache.get_or_compute((k,), lambda: 0.0)
+        # "a" is the oldest -> evicted; recomputing it is a miss
+        calls = []
+        cache.get_or_compute(("a",), lambda: calls.append(1) or 1.0)
+        assert calls
+        assert len(cache) == 2
+
+    def test_hit_refreshes_recency(self):
+        cache = CostCache(maxsize=2)
+        cache.get_or_compute(("a",), lambda: 1.0)
+        cache.get_or_compute(("b",), lambda: 2.0)
+        cache.get_or_compute(("a",), lambda: -1.0)  # hit, refresh "a"
+        cache.get_or_compute(("c",), lambda: 3.0)  # evicts "b", not "a"
+        calls = []
+        assert cache.get_or_compute(("a",), lambda: calls.append(1) or -1.0) == 1.0
+        assert not calls
+
+    def test_disabled_cache(self):
+        cache = CostCache(maxsize=0)
+        calls = []
+        for _ in range(3):
+            cache.get_or_compute(("k",), lambda: calls.append(1) or 0.0)
+        assert len(calls) == 3
+        assert len(cache) == 0
+
+    def test_exception_not_cached(self):
+        cache = CostCache(maxsize=4)
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(("k",), boom)
+        assert len(cache) == 0
+        assert cache.get_or_compute(("k",), lambda: 5.0) == 5.0
+
+    def test_resize_shrinks(self):
+        cache = CostCache(maxsize=8)
+        for i in range(8):
+            cache.get_or_compute((i,), lambda: float(i))
+        cache.resize(3)
+        assert len(cache) == 3
+        assert cache.maxsize == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CostCache(maxsize=-1)
+        with pytest.raises(ValueError):
+            CostCache().resize(-5)
+
+
+class TestPatternIntegration:
+    def test_equal_instances_share_computation(self):
+        a = Pattern([[0, 1], [2, 3]])
+        b = Pattern([[0, 1], [2, 3]])
+        assert a is not b
+        assert a.cost_lu == b.cost_lu
+        info = COST_CACHE.cache_info()
+        assert info.hits >= 1
+
+    def test_kernels_keyed_separately(self):
+        p = Pattern([[0, 1], [2, 3]])
+        assert p.cost_lu == 4.0
+        assert p.cost_cholesky == 3.0
+        assert len(COST_CACHE) >= 2
+
+    def test_nonsquare_cholesky_still_raises(self):
+        p = Pattern([[0, 1, 2], [3, 4, 5]])
+        with pytest.raises(PatternError):
+            _ = p.cost_cholesky
+        # the failure must not poison the cache
+        with pytest.raises(PatternError):
+            _ = p.cost_cholesky
+
+    def test_values_survive_cache_reuse(self):
+        from repro.patterns.gcrm import gcrm
+
+        res1 = gcrm(23, 10, seed=3)
+        COST_CACHE.clear()
+        res2 = gcrm(23, 10, seed=3)
+        assert res1.cost == res2.cost  # cached and recomputed agree

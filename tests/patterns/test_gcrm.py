@@ -40,6 +40,17 @@ class TestFeasibility:
         with pytest.raises(ValueError, match="Equation 3"):
             gcrm(23, 4, seed=0)
 
+    def test_sizes_guard_no_nodes(self):
+        """P < 1 has no pattern: empty list, never a sqrt domain error."""
+        assert feasible_sizes(0) == []
+        assert feasible_sizes(-3) == []
+        assert feasible_sizes(0, max_factor=2.0) == []
+
+    def test_sizes_single_node(self):
+        sizes = feasible_sizes(1)
+        assert sizes  # one node trivially satisfies Equation 3
+        assert all(feasible_size(r, 1) for r in sizes)
+
 
 class TestPhase1:
     def test_initial_round_robin_and_coverage(self):

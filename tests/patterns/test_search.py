@@ -1,0 +1,189 @@
+"""Tests for the parallel GCR&M search engine (repro.patterns.search)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.gcrm import feasible_sizes, gcrm, gcrm_cost_floor, gcrm_search
+from repro.patterns.search import (
+    AUTO_SERIAL_THRESHOLD,
+    ProcessExecutor,
+    SearchTask,
+    SerialExecutor,
+    auto_executor,
+    chunk_tasks,
+    resolve_jobs,
+    run_search,
+    spawn_task_seeds,
+)
+
+
+class TestJobsResolution:
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_auto(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-2)
+
+
+class TestAutoExecutor:
+    def test_jobs_one_is_serial(self):
+        assert isinstance(auto_executor(10_000, jobs=1), SerialExecutor)
+
+    def test_explicit_parallel_always_pool(self):
+        ex = auto_executor(2, jobs=2)
+        try:
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.jobs == 2
+        finally:
+            ex.close()
+
+    def test_auto_small_workload_serial(self):
+        assert isinstance(
+            auto_executor(AUTO_SERIAL_THRESHOLD - 1, jobs=None), SerialExecutor
+        )
+
+    def test_auto_large_workload(self):
+        import os
+
+        ex = auto_executor(AUTO_SERIAL_THRESHOLD, jobs=None)
+        try:
+            if (os.cpu_count() or 1) > 1:
+                assert isinstance(ex, ProcessExecutor)
+            else:
+                assert isinstance(ex, SerialExecutor)
+        finally:
+            ex.close()
+
+
+class TestChunking:
+    def test_preserves_order_and_content(self):
+        tasks = list(range(13))
+        chunks = chunk_tasks(tasks, jobs=4)
+        assert [x for c in chunks for x in c] == tasks
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_tasks(list(range(10)), jobs=4, chunk_size=3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_default_one_chunk_per_worker(self):
+        chunks = chunk_tasks(list(range(20)), jobs=4)
+        assert len(chunks) == 4
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunk_tasks([1, 2], jobs=1, chunk_size=0)
+
+
+class TestSeedDerivation:
+    def test_spawn_is_deterministic(self):
+        a = spawn_task_seeds(42, 5)
+        b = spawn_task_seeds(42, 5)
+        for x, y in zip(a, b):
+            assert np.random.default_rng(x).integers(1 << 30) == \
+                np.random.default_rng(y).integers(1 << 30)
+
+    def test_children_are_independent(self):
+        children = spawn_task_seeds(0, 4)
+        draws = {int(np.random.default_rng(c).integers(1 << 60)) for c in children}
+        assert len(draws) == 4
+
+    def test_gcrm_accepts_seedsequence(self):
+        ss = spawn_task_seeds(3, 2)[1]
+        a = gcrm(23, 10, seed=ss)
+        b = gcrm(23, 10, seed=ss)
+        assert a.pattern == b.pattern
+        assert a.seed == tuple(ss.spawn_key)
+
+
+class TestDeterminismRegression:
+    """Paper figure cases: parallel == serial, bit for bit."""
+
+    @pytest.mark.parametrize("P", [23, 31, 35])
+    def test_root_seed_jobs_independent(self, P):
+        kw = dict(seeds=range(5), max_factor=3.0, seed=1234)
+        serial = gcrm_search(P, jobs=1, **kw)
+        parallel = gcrm_search(P, jobs=4, **kw)
+        assert serial.cost == parallel.cost
+        assert serial.pattern == parallel.pattern
+        assert (serial.pattern.grid == parallel.pattern.grid).all()
+
+    def test_legacy_seeds_jobs_independent(self):
+        kw = dict(seeds=range(6), max_factor=3.0, prune=False)
+        serial = gcrm_search(23, jobs=1, **kw)
+        parallel = gcrm_search(23, jobs=2, **kw)
+        assert serial.cost == parallel.cost
+        assert serial.pattern == parallel.pattern
+
+    def test_chunk_size_does_not_change_winner(self):
+        kw = dict(seeds=range(6), max_factor=3.0, seed=7)
+        a = gcrm_search(23, chunk_size=1, **kw)
+        b = gcrm_search(23, chunk_size=50, **kw)
+        assert a.cost == b.cost and a.pattern == b.pattern
+
+    def test_matches_pre_engine_serial_loop(self):
+        """jobs=1 + no pruning reproduces the historical serial search."""
+        sizes = feasible_sizes(23, 3.0)
+        best = None
+        for r in sizes:
+            for s in range(6):
+                res = gcrm(23, r, seed=s)
+                if not res.uses_all_nodes:
+                    continue
+                if best is None or res.cost < best.cost - 1e-12:
+                    best = res
+        engine = gcrm_search(23, seeds=range(6), max_factor=3.0,
+                             jobs=1, prune=False)
+        assert engine.cost == best.cost
+        assert engine.pattern == best.pattern
+
+
+class TestPruning:
+    def test_report_attached(self):
+        res = gcrm_search(23, seeds=range(4), max_factor=3.0)
+        assert res.report is not None
+        assert res.report.n_tasks_total == 4 * len(feasible_sizes(23, 3.0))
+        assert res.report.sizes_evaluated[0] == feasible_sizes(23, 3.0)[0]
+
+    def test_prune_skips_trailing_sizes(self):
+        # generous tolerance forces pruning at the first group that
+        # yields any winner (r=6 cannot use all 35 nodes, so r=12 wins)
+        pruned = gcrm_search(35, seeds=range(4), max_factor=6.0, prune_tol=10.0)
+        assert pruned.report.pruned
+        assert pruned.report.sizes_evaluated == feasible_sizes(35, 6.0)[:2]
+        full = gcrm_search(35, seeds=range(4), max_factor=6.0, prune=False)
+        assert not full.report.pruned
+        assert full.report.n_tasks_evaluated == full.report.n_tasks_total
+
+    def test_pruned_cost_within_band(self):
+        res = gcrm_search(35, seeds=range(10), max_factor=6.0,
+                          prune=True, prune_tol=0.05)
+        if res.report.pruned:
+            assert res.cost <= gcrm_cost_floor(35) * 1.05 + 1e-9
+
+    def test_first_group_never_pruned(self):
+        res = gcrm_search(23, seeds=range(3), max_factor=3.0, prune_tol=100.0)
+        assert len(res.report.sizes_evaluated) >= 1
+
+
+class TestRunSearchEdges:
+    def test_empty_seed_budget_rejected(self):
+        with pytest.raises(ValueError, match="seed budget"):
+            gcrm_search(23, seeds=[], max_factor=3.0)
+
+    def test_no_winner_raises(self):
+        # size 2 over 2 nodes leaves a node without off-diagonal cells
+        tasks = [SearchTask(index=0, r=3, seed=0)]
+        report = run_search(7, [(3, tasks)], prune=False)
+        # r=3 on P=7: only 6 off-diagonal cells for 7 nodes -> some empty
+        assert report.best_index is None
+
+    def test_outcomes_cover_all_tasks_without_prune(self):
+        res = gcrm_search(23, sizes=[10, 12], seeds=range(3), prune=False)
+        assert len(res.report.outcomes) == 6
+        assert res.pattern.nrows in (10, 12)

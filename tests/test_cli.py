@@ -20,6 +20,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["pattern", "-P", "4", "--family", "nope"])
 
+    def test_search_flags(self):
+        args = build_parser().parse_args(
+            ["pattern", "-P", "23", "--jobs", "4", "--no-prune"])
+        assert args.jobs == 4 and args.no_prune
+        args = build_parser().parse_args(["cost", "-P", "23"])
+        assert args.jobs == 1 and not args.no_prune
+        for cmd in (["simulate", "-P", "10"],
+                    ["db", "--max-nodes", "4", "--out", "x.json"]):
+            assert build_parser().parse_args(cmd + ["-j", "0"]).jobs == 0
+
 
 class TestPatternCommand:
     def test_lu_pattern(self, capsys):
@@ -44,6 +54,19 @@ class TestPatternCommand:
         main(["pattern", "-P", "23", "--family", "sbc_within", "--kernel", "cholesky"])
         out = capsys.readouterr().out
         assert "P = 21" in out
+
+    def test_parallel_search_matches_serial(self, capsys):
+        argv = ["pattern", "-P", "23", "--kernel", "cholesky", "--seeds", "5"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_no_prune_flag_runs(self, capsys):
+        assert main(["pattern", "-P", "23", "--kernel", "cholesky",
+                     "--seeds", "3", "--no-prune"]) == 0
+        assert "T(cholesky)" in capsys.readouterr().out
 
 
 class TestCostCommand:

@@ -11,9 +11,9 @@ from repro.cost.exact import count_cholesky_messages, count_lu_messages
 from repro.cost.metrics import q_cholesky, q_lu
 from repro.distribution import TileDistribution
 from repro.patterns.base import UNDEFINED, Pattern
-from repro.patterns.bc2d import best_grid, grid_shapes
+from repro.patterns.bc2d import bc2d, best_grid, grid_shapes
 from repro.patterns.g2dbc import g2dbc, g2dbc_cost, g2dbc_cost_bound, g2dbc_params
-from repro.patterns.gcrm import feasible_size, gcrm
+from repro.patterns.gcrm import feasible_size, feasible_sizes, gcrm
 from repro.patterns.sbc import sbc, sbc_feasible
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simulator import simulate
@@ -94,6 +94,70 @@ class TestG2dbcProperties:
     def test_cost_beats_or_matches_best_2dbc(self, P):
         r, c = best_grid(P)
         assert g2dbc_cost(P) <= r + c + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Paper lemmas (Section IV) and Equation 3 — high-volume properties
+# ---------------------------------------------------------------------------
+class TestPaperLemmas:
+    """The proved claims of the paper, checked on 200+ generated cases."""
+
+    @given(st.integers(2, 300))
+    @settings(max_examples=200, deadline=None)
+    def test_lemma1_perfect_balance(self, P):
+        """Lemma 1: each node appears exactly b(b-1) times in G-2DBC."""
+        a, b, c = g2dbc_params(P)
+        full = g2dbc(P, reduce_when_complete=False)
+        counts = full.cell_counts
+        if b < 2:  # P <= 2: the construction degenerates to the b x a grid
+            assert (counts == 1).all()
+        else:
+            assert (counts == b * (b - 1)).all()
+            assert full.shape == (b * (b - 1), P)
+
+    @given(st.integers(2, 300))
+    @settings(max_examples=200, deadline=None)
+    def test_lemma2_cost_bound(self, P):
+        """Lemma 2: T = x̄ + ȳ ≤ 2√P + 2/√P, on the materialized pattern."""
+        pat = g2dbc(P)
+        bound = 2 * math.sqrt(P) + 2 / math.sqrt(P)
+        assert pat.cost_lu <= bound + 1e-9
+        assert pat.cost_lu == pytest.approx(g2dbc_cost(P))
+
+    @given(st.integers(2, 17), st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_collapses_to_2dbc_when_c_zero(self, p, rectangular):
+        """For P = p² or p(p+1) (c = 0), G-2DBC is the plain b×a 2DBC."""
+        P = p * (p + 1) if rectangular else p * p
+        a, b, c = g2dbc_params(P)
+        assume(c == 0)
+        pat = g2dbc(P)
+        ref = bc2d(b, a)
+        assert pat.shape == ref.shape
+        assert (pat.grid == ref.grid).all()
+
+    @given(st.integers(2, 14), st.integers(1, 40))
+    @settings(max_examples=200, deadline=None)
+    def test_feasible_size_matches_brute_force(self, r, P):
+        """Equation 3 agrees with directly balancing the r(r-1) cells.
+
+        Hand the off-diagonal cells to nodes one at a time, always to a
+        least-loaded node; the size is feasible iff the resulting max
+        load never exceeds the per-node cell budget r²/P.
+        """
+        loads = [0] * P
+        for _ in range(r * (r - 1)):
+            loads[loads.index(min(loads))] += 1
+        balanced = max(loads) * P <= r * r
+        assert feasible_size(r, P) == balanced
+
+    @given(st.integers(-5, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_sizes_guarded_below_one_node(self, P):
+        if P < 1:
+            assert feasible_sizes(P) == []
+        else:
+            assert feasible_sizes(P)
 
 
 # ---------------------------------------------------------------------------
