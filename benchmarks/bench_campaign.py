@@ -1,0 +1,89 @@
+"""Micro-benchmark — campaign runner scaling and memoization.
+
+Runs a small (family × P × m × network) grid three ways:
+
+* cold, serial (``jobs=1``) — the reference path;
+* cold, parallel (``jobs=4``) — the process-pool path;
+* warm, serial — the same grid against a populated memo.
+
+Raw 4-worker speedup is only visible on multi-core hosts, so the
+assertion is on *parallel efficiency* normalized by the usable cores,
+``serial_t / (parallel_t · min(jobs, cpus))`` — near 1.0 means
+near-linear scaling up to the available cores (on a 1-CPU container it
+degenerates to "pool overhead is bounded", which is the honest claim
+that host can support).  The memoized re-run must be essentially free.
+Determinism across ``jobs`` is asserted row-for-row.
+
+Measured numbers are recorded in
+``benchmarks/results/campaign_speedup.txt``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.campaign import plan_campaign, run_campaign
+
+from conftest import RESULTS_DIR
+
+WORKERS = 4
+FAMILIES = ["g2dbc", "gcrm"]
+PS = [5, 7, 9]
+MS = [8, 12]
+NETWORKS = ["nic", "contention"]
+TILE_SIZE = 500
+
+
+def _timed(cells, jobs, memo=None):
+    if memo is None:
+        memo = {}
+    t0 = time.perf_counter()
+    rows = run_campaign(cells, jobs=jobs, tile_size=TILE_SIZE, memo=memo)
+    return time.perf_counter() - t0, rows, memo
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_runner_speedup(benchmark):
+    cells = plan_campaign(FAMILIES, Ps=PS, ms=MS, networks=NETWORKS)
+    assert len(cells) >= 16
+
+    serial_t, serial_rows, memo = _timed(cells, jobs=1)
+    parallel_t, parallel_rows, _ = benchmark.pedantic(
+        lambda: _timed(cells, jobs=WORKERS), rounds=1, iterations=1
+    )
+    warm_t, warm_rows, _ = _timed(cells, jobs=1, memo=memo)
+
+    # determinism: identical rows whatever the worker count / memo state
+    assert [r.as_dict() for r in parallel_rows] == [r.as_dict() for r in serial_rows]
+    assert [r.as_dict() for r in warm_rows] == [r.as_dict() for r in serial_rows]
+
+    cpus = os.cpu_count() or 1
+    efficiency = serial_t / (parallel_t * min(WORKERS, cpus))
+    assert efficiency >= 0.4, (
+        f"parallel efficiency {efficiency:.2f} below 0.4 "
+        f"(serial {serial_t:.2f}s, jobs={WORKERS} {parallel_t:.2f}s, {cpus} CPUs)")
+    assert warm_t < serial_t / 10, (
+        f"memoized re-run not cheap: {warm_t:.3f}s vs cold {serial_t:.3f}s")
+
+    lines = [
+        f"campaign runner micro-benchmark — {len(cells)} cells "
+        f"({'+'.join(FAMILIES)}, P={PS}, m={MS}, networks={NETWORKS})",
+        f"host: {cpus} CPU(s)",
+        "",
+        f"{'configuration':<34} {'time [s]':>9}",
+        f"{'cold, serial (jobs=1)':<34} {serial_t:>9.3f}",
+        f"{f'cold, parallel (jobs={WORKERS})':<34} {parallel_t:>9.3f}",
+        f"{'warm, serial (memoized)':<34} {warm_t:>9.3f}",
+        "",
+        f"parallel efficiency serial/(parallel*min(jobs,cpus)): {efficiency:.2f}",
+        f"memo speedup vs cold serial: {serial_t / max(warm_t, 1e-9):.1f}x",
+        "rows are jobs-independent and memo-independent (asserted).",
+        "on multi-core hosts the efficiency figure is the per-core",
+        "scaling of the pool; on 1-CPU containers it bounds pool overhead.",
+    ]
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "campaign_speedup.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -4,7 +4,9 @@ Usage (after ``pip install -e .``)::
 
     python -m repro pattern  --nodes 23 --kernel lu --show
     python -m repro cost     --nodes 23 --tiles 100
-    python -m repro simulate --nodes 23 --tiles 48 --kernel lu
+    python -m repro simulate --nodes 23 --tiles 48 --kernel lu --network contention
+    python -m repro campaign --families g2dbc gcrm --nodes 5 7 --tiles 16 24 \
+        --networks nic contention --jobs 2
     python -m repro db       --max-nodes 44 --kernel cholesky --out db.json
     python -m repro validate --tiles 12 --kernel cholesky
 
@@ -26,6 +28,7 @@ from .patterns.g2dbc import g2dbc_cost
 from .patterns.io import save_database, save_pattern
 from .patterns.library import PATTERN_FAMILIES, PatternDatabase, best_pattern
 from .patterns.sbc import sbc_cost, sbc_feasible
+from .runtime.network import NETWORK_MODELS
 
 __all__ = ["main", "build_parser"]
 
@@ -77,7 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", choices=sorted(PATTERN_FAMILIES), default=None)
     p.add_argument("--tile-size", type=int, default=500)
     p.add_argument("--seeds", type=int, default=10)
+    p.add_argument("--network", choices=sorted(NETWORK_MODELS), default="nic",
+                   help="communication model (nic = legacy sender-serialized, "
+                        "contention = rx serialization + latency + shared link)")
     add_search_flags(p)
+
+    p = sub.add_parser("campaign",
+                       help="predicted-vs-simulated sweep over a "
+                            "(family x P x m x network) grid")
+    p.add_argument("--families", nargs="+", default=["g2dbc", "gcrm"],
+                   choices=sorted(PATTERN_FAMILIES), metavar="FAMILY")
+    p.add_argument("--nodes", "-P", nargs="+", type=int, required=True,
+                   metavar="P")
+    p.add_argument("--tiles", nargs="+", type=int, default=[16, 24],
+                   metavar="M", help="matrix sizes in tiles")
+    p.add_argument("--networks", nargs="+", default=["nic"],
+                   choices=sorted(NETWORK_MODELS), metavar="MODEL")
+    p.add_argument("--kernel", choices=("lu", "cholesky"), default=None,
+                   help="force one kernel (default: each family's natural one)")
+    p.add_argument("--tile-size", type=int, default=500)
+    p.add_argument("--jobs", "-j", type=jobs_count, default=1, metavar="N",
+                   help="worker processes (1 = serial, 0 = auto-select)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the rows as CSV")
 
     p = sub.add_parser("db", help="precompute a pattern database")
     p.add_argument("--max-nodes", type=int, required=True)
@@ -167,12 +192,42 @@ def q_lu_from_t(t: float, n: int) -> float:
 
 def cmd_simulate(args) -> int:
     from .experiments.harness import run_factorization
+    from .runtime.stats import comm_breakdown
 
     pat = _get_pattern(args)
-    trace = run_factorization(pat, args.tiles, args.kernel, tile_size=args.tile_size)
+    trace = run_factorization(pat, args.tiles, args.kernel,
+                              tile_size=args.tile_size, network=args.network)
     print(f"pattern    : {pat.name} (T = {pat.cost(args.kernel):.3f})")
+    print(f"network    : {trace.network}")
     for key, val in trace.summary().items():
         print(f"{key:<20}: {val:,.4f}")
+    comm = comm_breakdown(trace)
+    print(f"{'link_busy':<20}: {comm['link_busy_fraction']:,.4f}")
+    print(f"{'eager/rendezvous':<20}: "
+          f"{comm['n_eager']}/{comm['n_rendezvous']}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    import csv
+
+    from .experiments.campaign import format_campaign, plan_campaign, run_campaign
+
+    cells = plan_campaign(
+        args.families, Ps=args.nodes, ms=args.tiles, networks=args.networks,
+        kernels=[args.kernel] if args.kernel else None)
+    if not cells:
+        print("no feasible cells in the requested grid")
+        return 1
+    rows = run_campaign(cells, jobs=args.jobs, tile_size=args.tile_size)
+    print(format_campaign(rows))
+    if args.out:
+        records = [r.as_dict() for r in rows]
+        with open(args.out, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(records[0]))
+            writer.writeheader()
+            writer.writerows(records)
+        print(f"\nwrote {len(records)} rows to {args.out}")
     return 0
 
 
@@ -234,6 +289,7 @@ _COMMANDS = {
     "report": cmd_report,
     "cost": cmd_cost,
     "simulate": cmd_simulate,
+    "campaign": cmd_campaign,
     "db": cmd_db,
     "validate": cmd_validate,
 }

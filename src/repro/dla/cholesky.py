@@ -92,7 +92,8 @@ def build_cholesky_graph(
 
 
 def execute_cholesky(
-    matrix: TiledMatrix, dist: Optional[TileDistribution] = None
+    matrix: TiledMatrix, dist: Optional[TileDistribution] = None,
+    log_messages: bool = False,
 ) -> Optional[MessageLog]:
     """Run the tiled Cholesky numerically, in place (lower triangle).
 
@@ -100,10 +101,11 @@ def execute_cholesky(
     ``A = L·Lᵀ``; the strictly-upper triangle is left untouched except
     for diagonal tiles (zeroed above their diagonal by POTRF).  With a
     distribution, inter-node tile messages are logged as in
-    :func:`repro.dla.lu.execute_lu`.
+    :func:`repro.dla.lu.execute_lu` (``log_messages=True`` keeps the
+    full transfer list).
     """
     n = matrix.n_tiles
-    log = _Logger(dist) if dist is not None else None
+    log = _Logger(dist, keep_messages=log_messages) if dist is not None else None
     for k in range(n):
         diag = matrix.tile(k, k)
         potrf(diag)

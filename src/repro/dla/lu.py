@@ -41,10 +41,18 @@ __all__ = ["build_lu_graph", "execute_lu", "lu_task_count", "MessageLog"]
 
 @dataclass
 class MessageLog:
-    """Inter-node tile transfers recorded by a distributed execution."""
+    """Inter-node tile transfers recorded by a distributed execution.
+
+    ``messages`` (kept only on request) lists every transfer as
+    ``(src, dst, i, j)`` — the tile-for-tile record the differential
+    conformance tests compare against the analytic counts of
+    :mod:`repro.cost.exact`.
+    """
 
     n_messages: int
     per_node_sent: np.ndarray
+    per_node_recv: Optional[np.ndarray] = None
+    messages: Optional[list] = None
 
     def __repr__(self) -> str:
         return f"MessageLog(n_messages={self.n_messages})"
@@ -99,7 +107,8 @@ def build_lu_graph(
 
 
 def execute_lu(
-    matrix: TiledMatrix, dist: Optional[TileDistribution] = None
+    matrix: TiledMatrix, dist: Optional[TileDistribution] = None,
+    log_messages: bool = False,
 ) -> Optional[MessageLog]:
     """Run the tiled LU numerically, in place.
 
@@ -107,10 +116,11 @@ def execute_lu(
     one, the execution additionally simulates the StarPU data cache:
     each produced tile version is "sent" once to every remote node that
     reads it, and the resulting message counts are returned.  The
-    numeric result is identical either way.
+    numeric result is identical either way.  ``log_messages=True``
+    additionally keeps the full ``(src, dst, i, j)`` transfer list.
     """
     n = matrix.n_tiles
-    log = _Logger(dist) if dist is not None else None
+    log = _Logger(dist, keep_messages=log_messages) if dist is not None else None
     for k in range(n):
         diag = matrix.tile(k, k)
         getrf_nopiv(diag)
@@ -142,10 +152,12 @@ def execute_lu(
 class _Logger:
     """Tracks which nodes hold the current version of each tile."""
 
-    def __init__(self, dist: TileDistribution):
+    def __init__(self, dist: TileDistribution, keep_messages: bool = False):
         self.dist = dist
         self.n_messages = 0
         self.per_node = np.zeros(dist.nnodes, dtype=np.int64)
+        self.per_node_recv = np.zeros(dist.nnodes, dtype=np.int64)
+        self.messages: Optional[list] = [] if keep_messages else None
         # holders of the *current* version of each tile; producing a new
         # version invalidates all remote copies (StarPU write-invalidate)
         self.holders: dict[tuple[int, int], set[int]] = {}
@@ -160,9 +172,14 @@ class _Logger:
         node = self._owner(*by)
         held = self.holders.setdefault((i, j), {self._owner(i, j)})
         if node not in held:
+            src = self._owner(i, j)
             self.n_messages += 1
-            self.per_node[self._owner(i, j)] += 1
+            self.per_node[src] += 1
+            self.per_node_recv[node] += 1
+            if self.messages is not None:
+                self.messages.append((src, node, i, j))
             held.add(node)
 
     def result(self) -> MessageLog:
-        return MessageLog(n_messages=self.n_messages, per_node_sent=self.per_node)
+        return MessageLog(n_messages=self.n_messages, per_node_sent=self.per_node,
+                          per_node_recv=self.per_node_recv, messages=self.messages)

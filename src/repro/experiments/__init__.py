@@ -15,12 +15,24 @@ from .figures import (
     table1a_lu_patterns,
     table1b_cholesky_patterns,
 )
+from .campaign import (
+    CampaignCell,
+    CampaignRow,
+    format_campaign,
+    plan_campaign,
+    run_campaign,
+)
 from .harness import ResultRow, format_rows, run_factorization, sweep
 
 __all__ = [
+    "CampaignCell",
+    "CampaignRow",
     "FigureResult",
     "ResultRow",
+    "format_campaign",
     "format_rows",
+    "plan_campaign",
+    "run_campaign",
     "run_factorization",
     "sweep",
     "fig1_2dbc_shapes",

@@ -1,0 +1,287 @@
+"""Parallel simulation campaigns: (family × P × m × network) grids.
+
+The paper's evaluation (Figures 5–8, 11–12) is a grid of factorization
+runs — every distribution family at every node count and matrix size.
+This module runs such grids through the v2 simulator on the same
+process-pool machinery that powers the GCR&M search
+(:mod:`repro.patterns.search`), and pairs each simulated run with its
+*predicted* counterpart: the exact message count from
+:mod:`repro.cost.exact` and the makespan lower bound from
+:func:`repro.runtime.analysis.makespan_bounds`.  The resulting
+predicted-vs-simulated table is the validation artifact behind the
+figure drivers — if the simulator and the closed-form analysis
+disagree, one of them is wrong.
+
+Design notes
+------------
+* **Determinism / jobs-independence** — every cell is evaluated by a
+  pure function of its spec; results are merged back in planning order,
+  so ``jobs=1`` and ``jobs=8`` produce identical rows (the same
+  index-ordered reduction contract as ``run_search``).
+* **Memoization** — a campaign memo maps cell signatures to finished
+  rows.  Re-running an enlarged grid only simulates the new cells;
+  workers additionally cache built patterns per process so a family's
+  (possibly randomized) construction runs once per (family, P, kernel).
+* **Feasibility filtering** — not every family exists at every P
+  (SBC needs ``P = a(a+1)/2`` or ``a²+something``; STS needs
+  ``P = r(r-1)/6``) and the baseline families are kernel-specific
+  (2DBC/G-2DBC target LU, SBC/GCR&M target Cholesky).
+  :func:`plan_campaign` silently drops infeasible combinations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cost.exact import count_cholesky_messages, count_lu_messages
+from ..distribution import TileDistribution
+from ..dla.cholesky import build_cholesky_graph
+from ..dla.lu import build_lu_graph
+from ..patterns.library import PATTERN_FAMILIES
+from ..patterns.sbc import sbc_feasible
+from ..patterns.search import auto_executor, chunk_tasks
+from ..patterns.sts import sts_node_counts
+from ..runtime.analysis import makespan_bounds
+from ..runtime.network import NETWORK_MODELS
+from ..runtime.simulator import simulate
+from .machine import PAPER_TILE_SIZE, sim_cluster
+
+__all__ = [
+    "CampaignCell",
+    "CampaignRow",
+    "DEFAULT_KERNELS",
+    "plan_campaign",
+    "run_campaign",
+    "format_campaign",
+]
+
+#: Which kernel(s) each family is a sensible distribution for — the
+#: paper's pairing: general patterns drive LU, symmetric ones Cholesky.
+DEFAULT_KERNELS: Dict[str, Tuple[str, ...]] = {
+    "2dbc": ("lu",),
+    "2dbc_within": ("lu",),
+    "g2dbc": ("lu",),
+    "sbc": ("cholesky",),
+    "sbc_within": ("cholesky",),
+    "gcrm": ("cholesky",),
+    "sts": ("cholesky",),
+}
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the campaign grid (the *spec*, not the result)."""
+
+    family: str          #: pattern family name (key of ``PATTERN_FAMILIES``)
+    kernel: str          #: "lu" or "cholesky"
+    P: int               #: node count
+    m: int               #: matrix size in tiles
+    network: str = "nic"             #: simulator network model
+    bandwidth_scale: float = 1.0     #: multiplier on the platform bandwidth
+
+    def signature(self) -> tuple:
+        """Hashable memoization key (includes every field)."""
+        return (self.family, self.kernel, self.P, self.m,
+                self.network, self.bandwidth_scale)
+
+
+@dataclass
+class CampaignRow:
+    """Predicted-vs-simulated outcome of one cell."""
+
+    family: str
+    kernel: str
+    network: str
+    P: int
+    m: int
+    matrix_size: int
+    pattern_cost: float          #: T(G), the paper's per-family cost metric
+    predicted_messages: int      #: exact count (cost/exact.py)
+    simulated_messages: int      #: simulator message total
+    predicted_makespan_s: float  #: best lower bound (runtime/analysis.py)
+    makespan_s: float            #: simulated makespan
+    gflops: float
+    gflops_per_node: float
+    utilization: float
+    link_busy_fraction: float    #: shared-link occupancy (0 under "nic")
+    n_eager: int
+    n_rendezvous: int
+
+    @property
+    def makespan_ratio(self) -> float:
+        """Simulated / predicted-bound; ≥ 1 when both are meaningful."""
+        return self.makespan_s / self.predicted_makespan_s \
+            if self.predicted_makespan_s > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _family_feasible(family: str, P: int) -> bool:
+    if family == "sbc":
+        return sbc_feasible(P) is not None
+    if family == "sts":
+        return P in sts_node_counts(max_r=max(9, int(math.isqrt(6 * P)) + 3))
+    return family in PATTERN_FAMILIES
+
+
+def plan_campaign(
+    families: Sequence[str],
+    Ps: Sequence[int],
+    ms: Sequence[int],
+    networks: Sequence[str] = ("nic",),
+    kernels: Optional[Sequence[str]] = None,
+    bandwidth_scales: Sequence[float] = (1.0,),
+) -> List[CampaignCell]:
+    """Expand a grid into feasible :class:`CampaignCell` specs.
+
+    ``kernels=None`` uses each family's :data:`DEFAULT_KERNELS` pairing;
+    passing an explicit kernel list forces those kernels for every
+    family (still subject to feasibility at each ``P``).
+    """
+    for net in networks:
+        if net not in NETWORK_MODELS:
+            raise ValueError(
+                f"unknown network model {net!r}; have {sorted(NETWORK_MODELS)}")
+    cells: List[CampaignCell] = []
+    for family in families:
+        if family not in PATTERN_FAMILIES:
+            raise ValueError(
+                f"unknown family {family!r}; have {sorted(PATTERN_FAMILIES)}")
+        fam_kernels = tuple(kernels) if kernels is not None \
+            else DEFAULT_KERNELS.get(family, ("lu",))
+        for P in Ps:
+            if not _family_feasible(family, P):
+                continue
+            for kernel in fam_kernels:
+                for m in ms:
+                    for net in networks:
+                        for bw in bandwidth_scales:
+                            cells.append(CampaignCell(
+                                family=family, kernel=kernel, P=P, m=m,
+                                network=net, bandwidth_scale=bw))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# worker (module-level: must be picklable for the process pool)
+# ---------------------------------------------------------------------------
+#: per-process cache of built patterns, keyed (family, P, kernel)
+_PATTERN_CACHE: dict = {}
+
+
+def _build_pattern(family: str, P: int, kernel: str):
+    key = (family, P, kernel)
+    pat = _PATTERN_CACHE.get(key)
+    if pat is None:
+        pat = PATTERN_FAMILIES[family](P, kernel=kernel, jobs=1)
+        _PATTERN_CACHE[key] = pat
+    return pat
+
+
+def _eval_cell(cell: CampaignCell, tile_size: int) -> CampaignRow:
+    """Evaluate one cell: build, count, bound, simulate."""
+    pattern = _build_pattern(cell.family, cell.P, cell.kernel)
+    cluster = sim_cluster(cell.P, tile_size=tile_size)
+    if cluster.nnodes < pattern.nnodes:
+        cluster = cluster.with_nodes(pattern.nnodes)
+    if cell.bandwidth_scale != 1.0:
+        cluster = replace(
+            cluster, bandwidth_Bps=cluster.bandwidth_Bps * cell.bandwidth_scale)
+    if cell.kernel == "lu":
+        dist = TileDistribution(pattern, cell.m, symmetric=False)
+        graph, home = build_lu_graph(dist, tile_size)
+        predicted = count_lu_messages(dist).total
+    elif cell.kernel == "cholesky":
+        dist = TileDistribution(pattern, cell.m, symmetric=True)
+        graph, home = build_cholesky_graph(dist, tile_size)
+        predicted = count_cholesky_messages(dist).total
+    else:
+        raise ValueError(f"unknown kernel {cell.kernel!r}")
+    bounds = makespan_bounds(graph, cluster)
+    trace = simulate(graph, cluster, data_home=home, network=cell.network)
+    net = trace.net_stats
+    fr = net.busy_fractions(trace.makespan) if net is not None else {"link_busy": 0.0}
+    return CampaignRow(
+        family=cell.family, kernel=cell.kernel, network=cell.network,
+        P=cell.P, m=cell.m, matrix_size=cell.m * tile_size,
+        pattern_cost=pattern.cost(cell.kernel),
+        predicted_messages=int(predicted),
+        simulated_messages=int(trace.n_messages),
+        predicted_makespan_s=float(bounds.best),
+        makespan_s=float(trace.makespan),
+        gflops=float(trace.gflops),
+        gflops_per_node=float(trace.gflops_per_node),
+        utilization=float(trace.utilization),
+        link_busy_fraction=float(fr["link_busy"]),
+        n_eager=int(net.n_eager) if net is not None else 0,
+        n_rendezvous=int(net.n_rendezvous) if net is not None else 0,
+    )
+
+
+def _eval_campaign_chunk(args: Tuple[int, List[CampaignCell]]) -> List[CampaignRow]:
+    tile_size, chunk = args
+    return [_eval_cell(cell, tile_size) for cell in chunk]
+
+
+# ---------------------------------------------------------------------------
+# the campaign loop
+# ---------------------------------------------------------------------------
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    *,
+    jobs: Optional[int] = 1,
+    tile_size: int = PAPER_TILE_SIZE,
+    chunk_size: Optional[int] = None,
+    memo: Optional[dict] = None,
+) -> List[CampaignRow]:
+    """Evaluate every cell; return rows in the order of ``cells``.
+
+    ``memo`` (signature → :class:`CampaignRow`) skips already-simulated
+    cells and is updated in place — pass the same dict across calls to
+    grow a grid incrementally.  Rows are merged in planning order, so
+    the output is independent of ``jobs`` and ``chunk_size``.
+    """
+    if memo is None:
+        memo = {}
+    key = lambda c: (c.signature(), tile_size)  # noqa: E731
+    misses = []
+    seen = set()
+    for cell in cells:
+        k = key(cell)
+        if k not in memo and k not in seen:
+            seen.add(k)
+            misses.append(cell)
+    if misses:
+        executor = auto_executor(len(misses), jobs)
+        try:
+            chunks = chunk_tasks(misses, executor.jobs, chunk_size)
+            results = executor.map(_eval_campaign_chunk,
+                                   [(tile_size, c) for c in chunks])
+            for chunk, rows in zip(chunks, results):
+                for cell, row in zip(chunk, rows):
+                    memo[key(cell)] = row
+        finally:
+            executor.close()
+    return [memo[key(cell)] for cell in cells]
+
+
+def format_campaign(rows: Iterable[CampaignRow]) -> str:
+    """Predicted-vs-simulated table (the Fig. 6–8 validation artifact)."""
+    header = (
+        f"{'family':<14} {'kernel':<9} {'net':<11} {'P':>4} {'m':>4} "
+        f"{'T(G)':>7} {'msg pred':>9} {'msg sim':>9} {'bound s':>10} "
+        f"{'sim s':>10} {'ratio':>6} {'GF/s/node':>10} {'link':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.family:<14} {r.kernel:<9} {r.network:<11} {r.P:>4} {r.m:>4} "
+            f"{r.pattern_cost:>7.3f} {r.predicted_messages:>9} "
+            f"{r.simulated_messages:>9} {r.predicted_makespan_s:>10.4g} "
+            f"{r.makespan_s:>10.4g} {r.makespan_ratio:>6.3f} "
+            f"{r.gflops_per_node:>10.1f} {r.link_busy_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

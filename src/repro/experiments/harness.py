@@ -56,8 +56,15 @@ def run_factorization(
     kernel: str,
     cluster: Optional[ClusterSpec] = None,
     tile_size: int = 500,
+    network: Optional[str] = None,
+    record_tasks: bool = False,
 ) -> ExecutionTrace:
-    """Simulate one factorization run under ``pattern``."""
+    """Simulate one factorization run under ``pattern``.
+
+    ``network`` selects the simulator's communication model (``"nic"``,
+    ``"contention"`` or a bound-able model instance; ``None`` = legacy
+    ``"nic"``).
+    """
     if cluster is None:
         cluster = sim_cluster(pattern.nnodes, tile_size=tile_size)
     elif cluster.nnodes < pattern.nnodes:
@@ -70,7 +77,8 @@ def run_factorization(
         graph, home = build_cholesky_graph(dist, tile_size)
     else:
         raise ValueError(f"unknown kernel {kernel!r}")
-    return simulate(graph, cluster, data_home=home)
+    return simulate(graph, cluster, data_home=home,
+                    network=network, record_tasks=record_tasks)
 
 
 def sweep(

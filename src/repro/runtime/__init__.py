@@ -3,15 +3,32 @@
 from .analysis import GraphBounds, MemoryStats, critical_path, makespan_bounds, memory_footprint
 from .cluster import ClusterSpec, paper_cluster
 from .graph import DataRef, Task, TaskGraph, TaskKind
+from .network import (
+    NETWORK_MODELS,
+    ContentionModel,
+    NetworkModel,
+    NetworkStats,
+    NicModel,
+    make_network,
+)
 from .simulator import SimulationError, simulate
-from .stats import TraceStats, compute_stats, concurrency_profile, iteration_overlap
-from .trace import ExecutionTrace, TaskRecord
-from .tracefmt import save_chrome_trace, text_gantt, to_chrome_trace
+from .stats import (
+    TraceStats,
+    comm_breakdown,
+    compute_stats,
+    concurrency_profile,
+    critical_path_breakdown,
+    extract_critical_path,
+    iteration_overlap,
+)
+from .trace import ExecutionTrace, MsgRecord, TaskRecord
+from .tracefmt import assign_lanes, save_chrome_trace, text_gantt, to_chrome_trace
 
 __all__ = [
     "GraphBounds",
     "MemoryStats",
     "memory_footprint",
+    "assign_lanes",
     "save_chrome_trace",
     "text_gantt",
     "to_chrome_trace",
@@ -23,12 +40,22 @@ __all__ = [
     "Task",
     "TaskGraph",
     "TaskKind",
+    "NETWORK_MODELS",
+    "ContentionModel",
+    "NetworkModel",
+    "NetworkStats",
+    "NicModel",
+    "make_network",
     "SimulationError",
     "TraceStats",
+    "comm_breakdown",
     "compute_stats",
     "concurrency_profile",
+    "critical_path_breakdown",
+    "extract_critical_path",
     "iteration_overlap",
     "simulate",
     "ExecutionTrace",
+    "MsgRecord",
     "TaskRecord",
 ]

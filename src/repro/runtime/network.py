@@ -1,0 +1,424 @@
+"""Pluggable network models for the event-driven simulator.
+
+The v1 simulator hard-wired one communication model: sender-serialized
+NICs with a fixed per-message wire time.  This module turns that model
+into one of several :class:`NetworkModel` plugins:
+
+* ``"nic"`` — :class:`NicModel`, the legacy model, kept **bit-for-bit**
+  identical to the v1 arithmetic (the golden-trace tests pin this);
+* ``"contention"`` — :class:`ContentionModel`, a contention-aware model
+  with receive-side serialization, per-message eager/rendezvous α–β
+  latency, and fair bandwidth sharing on a configurable bisection link.
+
+A model instance is *bound* to one simulation run (:meth:`bind`), gets
+messages via :meth:`send`/:meth:`multicast`, schedules its internal
+events through the simulator's shared event heap, and reports
+structured observability (:class:`NetworkStats`: per-node bytes and
+messages sent/received, NIC/link busy time) at the end of the run.
+
+Contention model semantics
+--------------------------
+Every message is a *flow* of ``tile_bytes`` bytes from ``src`` to
+``dst``:
+
+1. **Injection serialization** — a node's NIC transmits one outgoing
+   flow at a time; queued messages leave in FIFO order.  The head of
+   the queue also waits for the destination NIC (head-of-line
+   blocking), which is the receive-side serialization the v1 model only
+   approximates with ``rx_serialization``.
+2. **Protocol latency** — an *eager* message (``bytes ≤
+   eager_threshold``) pays one ``latency_s`` before data flows; a
+   *rendezvous* message pays ``(1 + handshake_rtts) · latency_s``
+   (request + acknowledgement round trips of the large-message MPI
+   protocol).  Both NICs are held during the handshake.
+3. **Fair bandwidth sharing** — active flows cross a shared bisection
+   link of capacity ``bisection_Bps`` (default ``bandwidth_Bps ·
+   max(1, P/2)``, i.e. a full-bisection fabric).  With ``n`` concurrent
+   flows each progresses at ``min(bandwidth_Bps, bisection_Bps / n)``
+   — progressive filling, re-evaluated at every flow start/finish.
+
+Because each endpoint carries at most one flow in each direction, the
+equal split is exactly the max-min fair allocation.  Every per-message
+delay is ≥ the legacy model's ``latency + bytes/bandwidth``, which is
+why contention-model makespans dominate ``nic`` makespans on the same
+graph (asserted by the property tests).
+
+The model is deterministic: flows are started by scanning sender queues
+in ascending node id, and all events carry the simulator's global
+sequence number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .cluster import ClusterSpec
+from .graph import DataRef
+from .trace import MsgRecord
+
+__all__ = [
+    "EVENT_TASK_DONE",
+    "EVENT_MSG_ARRIVE",
+    "EVENT_NET_INTERNAL",
+    "NetworkStats",
+    "NetworkModel",
+    "NicModel",
+    "ContentionModel",
+    "NETWORK_MODELS",
+    "make_network",
+]
+
+#: Event type codes shared with the simulator's heap.
+EVENT_TASK_DONE = 0
+EVENT_MSG_ARRIVE = 1
+EVENT_NET_INTERNAL = 2
+
+
+@dataclass
+class NetworkStats:
+    """Structured communication observability for one simulated run."""
+
+    model: str
+    msgs_sent: np.ndarray       #: per-node messages sent
+    msgs_recv: np.ndarray       #: per-node messages received
+    bytes_sent: np.ndarray      #: per-node bytes sent
+    bytes_recv: np.ndarray      #: per-node bytes received
+    tx_busy: np.ndarray         #: per-node seconds the sending NIC was occupied
+    rx_busy: np.ndarray         #: per-node seconds the receiving NIC was occupied
+    link_busy: float = 0.0      #: seconds the shared bisection link carried ≥1 flow
+    link_bytes: float = 0.0     #: total bytes that crossed the bisection link
+    n_eager: int = 0            #: messages below the eager threshold
+    n_rendezvous: int = 0       #: messages using the rendezvous protocol
+
+    def busy_fractions(self, makespan: float) -> dict:
+        """Link/NIC busy- and idle-time breakdown as fractions of the run."""
+        span = makespan if makespan > 0 else 1.0
+        return {
+            "tx_busy": self.tx_busy / span,
+            "rx_busy": self.rx_busy / span,
+            "link_busy": self.link_busy / span,
+            "link_idle": max(0.0, 1.0 - self.link_busy / span),
+        }
+
+
+class NetworkModel:
+    """Base class: counters, recording, and the p2p multicast fallback.
+
+    Subclasses implement :meth:`send` (and may override
+    :meth:`multicast` and :meth:`on_internal`).  The simulator calls
+    :meth:`bind` once per run with a ``push_event(time, etype,
+    payload)`` callback that allocates the shared sequence number.
+    """
+
+    name = "base"
+
+    def bind(self, cluster: ClusterSpec,
+             push_event: Callable[[float, int, object], None],
+             record: bool = False) -> None:
+        self.cluster = cluster
+        self._push = push_event
+        P = cluster.nnodes
+        self.n_messages = 0
+        self.msgs_sent = np.zeros(P, dtype=np.int64)
+        self.msgs_recv = np.zeros(P, dtype=np.int64)
+        self.bytes_sent = np.zeros(P)
+        self.bytes_recv = np.zeros(P)
+        self.tx_busy = np.zeros(P)
+        self.rx_busy = np.zeros(P)
+        self.msg_records: Optional[List[MsgRecord]] = [] if record else None
+        self._bind()
+
+    def _bind(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    # ------------------------------------------------------------------
+    def send(self, ref: DataRef, src: int, dst: int, t: float) -> None:
+        raise NotImplementedError
+
+    def multicast(self, src: int, dests, t: float) -> None:
+        """Push one produced version to several consumers (p2p default)."""
+        for ref, dst in dests:
+            self.send(ref, src, dst, t)
+
+    def on_internal(self, payload, now: float) -> List[Tuple[DataRef, int]]:
+        """Handle a model-internal event; return completed arrivals."""
+        return []
+
+    # ------------------------------------------------------------------
+    def _record(self, ref: DataRef, src: int, dst: int,
+                start: float, end: float, nbytes: float) -> None:
+        if self.msg_records is not None:
+            self.msg_records.append(
+                MsgRecord(data=ref[0], version=ref[1], src=src, dst=dst,
+                          start=start, end=end, nbytes=nbytes))
+
+    def stats(self) -> NetworkStats:
+        return NetworkStats(
+            model=self.name,
+            msgs_sent=self.msgs_sent,
+            msgs_recv=self.msgs_recv,
+            bytes_sent=self.bytes_sent,
+            bytes_recv=self.bytes_recv,
+            tx_busy=self.tx_busy,
+            rx_busy=self.rx_busy,
+        )
+
+
+class NicModel(NetworkModel):
+    """The legacy v1 model: sender-serialized NICs, fixed wire time.
+
+    The arithmetic (and its operation order) is copied verbatim from
+    the v1 simulator so that ``nic`` traces are bit-for-bit identical
+    to pre-v2 output — the golden-trace regression tests enforce this.
+    ``rx_serialization`` and the idealized binomial ``tree`` multicast
+    keep their v1 meaning.
+    """
+
+    name = "nic"
+
+    def _bind(self) -> None:
+        self.msg_time = self.cluster.message_time()
+        self.tx_free = np.zeros(self.cluster.nnodes)
+        self.rx_free = np.zeros(self.cluster.nnodes)
+
+    def send(self, ref: DataRef, src: int, dst: int, t: float) -> None:
+        start = max(t, self.tx_free[src])
+        if self.cluster.rx_serialization:
+            wire_start = max(start, self.rx_free[dst])
+        else:
+            wire_start = start
+        arrival = wire_start + self.msg_time
+        self.tx_free[src] = start + self.msg_time
+        self.rx_free[dst] = arrival
+        nbytes = self.cluster.tile_bytes
+        self.n_messages += 1
+        self.msgs_sent[src] += 1
+        self.msgs_recv[dst] += 1
+        self.bytes_sent[src] += nbytes
+        self.bytes_recv[dst] += nbytes
+        self.tx_busy[src] += self.msg_time
+        self.rx_busy[dst] += self.msg_time
+        self._record(ref, src, dst, float(start), float(arrival), nbytes)
+        self._push(arrival, EVENT_MSG_ARRIVE, (ref, dst))
+
+    def multicast(self, src: int, dests, t: float) -> None:
+        if self.cluster.multicast == "tree" and len(dests) > 1:
+            self._multicast_tree(src, dests, t)
+        else:
+            for ref, dst in dests:
+                self.send(ref, src, dst, t)
+
+    def _multicast_tree(self, src: int, dests, t: float) -> None:
+        """Idealized binomial-tree broadcast: the set of holders doubles
+        every message round, so destination ``i`` receives after
+        ``ceil(log2(i+2))`` rounds.  The root's NIC is charged for its
+        own first send; forwarding is done by earlier receivers (not
+        charged — this is the *best case* collectives could achieve,
+        used by the ablation benchmarks)."""
+        start = max(t, self.tx_free[src])
+        self.tx_free[src] = start + self.msg_time
+        self.tx_busy[src] += self.msg_time
+        nbytes = self.cluster.tile_bytes
+        for i, (ref, dst) in enumerate(dests):
+            rounds = (i + 1).bit_length()  # == ceil(log2(i + 2))
+            arrival = start + rounds * self.msg_time
+            self.rx_free[dst] = max(self.rx_free[dst], arrival)
+            self.n_messages += 1
+            self.msgs_sent[src] += 1
+            self.msgs_recv[dst] += 1
+            self.bytes_sent[src] += nbytes
+            self.bytes_recv[dst] += nbytes
+            self.rx_busy[dst] += self.msg_time
+            self._record(ref, src, dst, float(start), float(arrival), nbytes)
+            self._push(arrival, EVENT_MSG_ARRIVE, (ref, dst))
+
+
+class _Flow:
+    """One in-flight transfer of the contention model."""
+
+    __slots__ = ("ref", "src", "dst", "nbytes", "t0", "remaining", "rate",
+                 "version", "active")
+
+    def __init__(self, ref: DataRef, src: int, dst: int, nbytes: float, t0: float):
+        self.ref = ref
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.t0 = t0
+        self.remaining = nbytes
+        self.rate = 0.0
+        self.version = 0
+        self.active = False  # True once the data stage begins
+
+
+class ContentionModel(NetworkModel):
+    """Contention-aware model (see module docstring for semantics).
+
+    Parameters
+    ----------
+    bisection_Bps:
+        Capacity of the shared bisection link.  ``None`` = full
+        bisection: ``bandwidth_Bps * max(1, nnodes / 2)``.
+    eager_threshold:
+        Messages of at most this many bytes use the eager protocol
+        (one latency); larger messages pay the rendezvous handshake.
+    handshake_rtts:
+        Extra latency round trips of the rendezvous protocol.
+    """
+
+    name = "contention"
+
+    def __init__(self, bisection_Bps: Optional[float] = None,
+                 eager_threshold: float = 65536.0,
+                 handshake_rtts: int = 2):
+        if bisection_Bps is not None and bisection_Bps <= 0:
+            raise ValueError("bisection_Bps must be positive")
+        if handshake_rtts < 0:
+            raise ValueError("handshake_rtts must be >= 0")
+        self.bisection_Bps = bisection_Bps
+        self.eager_threshold = float(eager_threshold)
+        self.handshake_rtts = int(handshake_rtts)
+
+    def _bind(self) -> None:
+        cl = self.cluster
+        P = cl.nnodes
+        self.node_bw = float(cl.bandwidth_Bps)
+        self.link_bw = (float(self.bisection_Bps) if self.bisection_Bps
+                        else self.node_bw * max(1.0, P / 2.0))
+        self.alpha = float(cl.latency_s)
+        self._queues: List[deque] = [deque() for _ in range(P)]
+        self._tx_held = np.zeros(P, dtype=bool)
+        self._rx_held = np.zeros(P, dtype=bool)
+        self._flows: dict[int, _Flow] = {}
+        self._active: List[int] = []  # insertion-ordered active flow ids
+        self._next_fid = 0
+        self._last_t = 0.0
+        self.link_busy = 0.0
+        self.link_bytes = 0.0
+        self.n_eager = 0
+        self.n_rendezvous = 0
+
+    # ------------------------------------------------------------------
+    def send(self, ref: DataRef, src: int, dst: int, t: float) -> None:
+        self._queues[src].append((ref, dst))
+        self._pump(t)
+
+    def _pump(self, now: float) -> None:
+        """Start queued flows wherever both endpoint NICs are idle."""
+        for src in range(self.cluster.nnodes):
+            if self._tx_held[src] or not self._queues[src]:
+                continue
+            ref, dst = self._queues[src][0]
+            if self._rx_held[dst]:
+                continue  # head-of-line blocking on the busy receiver
+            self._queues[src].popleft()
+            self._start_flow(ref, src, dst, now)
+
+    def _start_flow(self, ref: DataRef, src: int, dst: int, now: float) -> None:
+        nbytes = float(self.cluster.tile_bytes)
+        eager = nbytes <= self.eager_threshold
+        lat = self.alpha if eager else self.alpha * (1 + self.handshake_rtts)
+        if eager:
+            self.n_eager += 1
+        else:
+            self.n_rendezvous += 1
+        fid = self._next_fid
+        self._next_fid += 1
+        self._tx_held[src] = True
+        self._rx_held[dst] = True
+        self._flows[fid] = _Flow(ref, src, dst, nbytes, now)
+        self.n_messages += 1
+        self.msgs_sent[src] += 1
+        self.bytes_sent[src] += nbytes
+        self.link_bytes += nbytes
+        self._push(now + lat, EVENT_NET_INTERNAL, ("data", fid))
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Drain bytes of the active flows up to ``now``."""
+        dt = now - self._last_t
+        if dt > 0.0 and self._active:
+            self.link_busy += dt
+            for fid in self._active:
+                flow = self._flows[fid]
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_t = max(self._last_t, now)
+
+    def _reschedule(self, now: float) -> None:
+        """Re-apportion fair shares and re-emit finish events."""
+        n = len(self._active)
+        if n == 0:
+            return
+        rate = min(self.node_bw, self.link_bw / n)
+        for fid in self._active:
+            flow = self._flows[fid]
+            flow.rate = rate
+            flow.version += 1
+            self._push(now + flow.remaining / rate, EVENT_NET_INTERNAL,
+                       ("fin", fid, flow.version))
+
+    def on_internal(self, payload, now: float) -> List[Tuple[DataRef, int]]:
+        kind = payload[0]
+        if kind == "data":
+            fid = payload[1]
+            flow = self._flows[fid]
+            self._advance(now)
+            flow.active = True
+            self._active.append(fid)
+            self._reschedule(now)
+            return []
+        # ("fin", fid, version) — stale versions are lazily discarded
+        fid, version = payload[1], payload[2]
+        flow = self._flows.get(fid)
+        if flow is None or flow.version != version:
+            return []
+        self._advance(now)
+        self._active.remove(fid)
+        del self._flows[fid]
+        self._tx_held[flow.src] = False
+        self._rx_held[flow.dst] = False
+        busy = now - flow.t0
+        self.tx_busy[flow.src] += busy
+        self.rx_busy[flow.dst] += busy
+        self.msgs_recv[flow.dst] += 1
+        self.bytes_recv[flow.dst] += flow.nbytes
+        self._record(flow.ref, flow.src, flow.dst, flow.t0, now, flow.nbytes)
+        self._reschedule(now)
+        self._pump(now)
+        return [(flow.ref, flow.dst)]
+
+    def stats(self) -> NetworkStats:
+        out = super().stats()
+        out.link_busy = self.link_busy
+        out.link_bytes = self.link_bytes
+        out.n_eager = self.n_eager
+        out.n_rendezvous = self.n_rendezvous
+        return out
+
+
+#: Registered network models, by CLI/`simulate(network=...)` name.
+NETWORK_MODELS = {"nic": NicModel, "contention": ContentionModel}
+
+
+def make_network(network: Union[str, NetworkModel, None]) -> NetworkModel:
+    """Resolve a ``simulate(network=...)`` argument to a fresh model.
+
+    ``None`` keeps the legacy default (``nic``); a string looks up
+    :data:`NETWORK_MODELS`; a :class:`NetworkModel` instance is used as
+    is (it is re-bound, so one instance cannot serve two concurrent
+    simulations).
+    """
+    if network is None:
+        return NicModel()
+    if isinstance(network, NetworkModel):
+        return network
+    try:
+        return NETWORK_MODELS[network]()
+    except KeyError:
+        raise ValueError(
+            f"unknown network model {network!r}; "
+            f"available: {sorted(NETWORK_MODELS)}") from None

@@ -1,13 +1,17 @@
-"""Event-driven simulator of a task-based distributed runtime.
+"""Event-driven simulator of a task-based distributed runtime (v2).
 
 Models the Chameleon/StarPU execution of Section II-C:
 
 * **owner computes** — every task runs on the node owning the tile it
   writes (placement is already baked into the task graph);
 * **asynchronous point-to-point communication** — each produced tile
-  version is pushed, once, to every remote node that reads it; the
-  sending NIC serializes outgoing messages (one message on the wire at
-  a time per sender), and communications fully overlap computation;
+  version is pushed, once, to every remote node that reads it, through
+  a pluggable :mod:`~repro.runtime.network` model; communications fully
+  overlap computation.  ``network="nic"`` (the default) is the legacy
+  sender-serialized model, bit-for-bit identical to the v1 simulator;
+  ``network="contention"`` adds receive-side serialization,
+  eager/rendezvous per-message latency and fair bandwidth sharing on a
+  bisection link;
 * **dynamic intra-node scheduling** — each node runs ``cores_per_node``
   identical workers; ready tasks are picked by (iteration, kernel-kind)
   priority, which mimics StarPU's critical-path-friendly ordering of
@@ -16,24 +20,35 @@ Models the Chameleon/StarPU execution of Section II-C:
   like the runtime-based execution the paper credits for beating
   fork-join MPI codes.
 
-The simulator is deterministic for a given graph and cluster.
+The simulator is deterministic for a given graph, cluster and network
+model.  With ``record_tasks=True`` the returned trace also carries
+per-message records and a :class:`~repro.runtime.network.NetworkStats`
+breakdown (per-node bytes sent/received, NIC/link busy time).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .cluster import ClusterSpec
 from .graph import DataRef, TaskGraph
+from .network import (
+    EVENT_MSG_ARRIVE,
+    EVENT_NET_INTERNAL,
+    EVENT_TASK_DONE,
+    NetworkModel,
+    make_network,
+)
 from .trace import ExecutionTrace, TaskRecord
 
 __all__ = ["simulate", "SimulationError"]
 
-_TASK_DONE = 0
-_MSG_ARRIVE = 1
+_TASK_DONE = EVENT_TASK_DONE
+_MSG_ARRIVE = EVENT_MSG_ARRIVE
+_NET_INTERNAL = EVENT_NET_INTERNAL
 
 
 class SimulationError(RuntimeError):
@@ -46,6 +61,7 @@ def simulate(
     cluster: ClusterSpec,
     data_home: Optional[np.ndarray] = None,
     record_tasks: bool = False,
+    network: Union[str, NetworkModel, None] = None,
 ) -> ExecutionTrace:
     """Simulate the distributed execution of ``graph`` on ``cluster``.
 
@@ -62,15 +78,24 @@ def simulate(
         datum from a different node (never the case under
         owner-computes with our builders, but supported).
     record_tasks:
-        Keep per-task start/end times (memory-heavy for large graphs).
+        Keep per-task start/end times and per-message records
+        (memory-heavy for large graphs).
+    network:
+        Communication model: ``None``/``"nic"`` (legacy, sender-side
+        serialization only), ``"contention"``, or a bound-able
+        :class:`~repro.runtime.network.NetworkModel` instance.
     """
+    model = make_network(network)
     tasks = graph.tasks
     n_tasks = len(tasks)
     if n_tasks == 0:
+        zeros_f = np.zeros(cluster.nnodes)
+        zeros_i = np.zeros(cluster.nnodes, dtype=np.int64)
         return ExecutionTrace(
             cluster=cluster, makespan=0.0, total_flops=0.0, n_tasks=0,
             n_messages=0, bytes_sent=0.0,
-            busy_time=np.zeros(cluster.nnodes), sent_messages=np.zeros(cluster.nnodes, dtype=np.int64),
+            busy_time=zeros_f, sent_messages=zeros_i,
+            network=model.name, recv_messages=zeros_i.copy(),
         )
     max_node = max(t.node for t in tasks)
     if max_node >= cluster.nnodes:
@@ -120,62 +145,28 @@ def simulate(
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
-    msg_time = cluster.message_time()
-    tx_free = np.zeros(cluster.nnodes)
-    rx_free = np.zeros(cluster.nnodes)
     idle = np.full(cluster.nnodes, cluster.cores_per_node, dtype=np.int64)
     ready: List[List[tuple]] = [[] for _ in range(cluster.nnodes)]
     busy = np.zeros(cluster.nnodes)
-    sent = np.zeros(cluster.nnodes, dtype=np.int64)
     done = np.zeros(n_tasks, dtype=bool)
     completion = np.zeros(n_tasks) if record_tasks else None
     records: Optional[List[TaskRecord]] = [] if record_tasks else None
 
     events: List[tuple] = []
     seq = 0
-    n_messages = 0
 
-    def send(ref: DataRef, src: int, dst: int, t: float) -> None:
-        nonlocal seq, n_messages
-        start = max(t, tx_free[src])
-        if cluster.rx_serialization:
-            wire_start = max(start, rx_free[dst])
-        else:
-            wire_start = start
-        arrival = wire_start + msg_time
-        tx_free[src] = start + msg_time
-        rx_free[dst] = arrival
-        sent[src] += 1
-        n_messages += 1
+    def push_event(time: float, etype: int, payload) -> None:
+        nonlocal seq
         seq += 1
-        heapq.heappush(events, (arrival, seq, _MSG_ARRIVE, (ref, dst)))
+        heapq.heappush(events, (time, seq, etype, payload))
 
-    def multicast_tree(src: int, dests, t: float) -> None:
-        """Idealized binomial-tree broadcast: the set of holders doubles
-        every message round, so destination ``i`` receives after
-        ``ceil(log2(i+2))`` rounds.  The root's NIC is charged for its
-        own first send; forwarding is done by earlier receivers (not
-        charged — this is the *best case* collectives could achieve,
-        used by the ablation benchmarks)."""
-        nonlocal seq, n_messages
-        start = max(t, tx_free[src])
-        tx_free[src] = start + msg_time
-        for i, (ref, dst) in enumerate(dests):
-            rounds = (i + 1).bit_length()  # == ceil(log2(i + 2))
-            arrival = start + rounds * msg_time
-            rx_free[dst] = max(rx_free[dst], arrival)
-            sent[src] += 1
-            n_messages += 1
-            seq += 1
-            heapq.heappush(events, (arrival, seq, _MSG_ARRIVE, (ref, dst)))
+    model.bind(cluster, push_event, record=record_tasks)
 
     def start_task(tid: int, t: float) -> None:
-        nonlocal seq
         task = tasks[tid]
         dur = cluster.task_time(task.flops, task.node)
         busy[task.node] += dur
-        seq += 1
-        heapq.heappush(events, (t + dur, seq, _TASK_DONE, tid))
+        push_event(t + dur, _TASK_DONE, tid)
         if records is not None:
             records.append(TaskRecord(tid=tid, node=task.node, start=t, end=t + dur))
 
@@ -195,7 +186,7 @@ def simulate(
     iterations = sorted(remaining) if fj else []
     gate_idx = 0
 
-    def gate(            ) -> int:
+    def gate() -> int:
         return iterations[gate_idx] if gate_idx < len(iterations) else (1 << 62)
 
     def enqueue(tid: int) -> int:
@@ -232,9 +223,21 @@ def simulate(
             idle[n] -= 1
             start_task(tid, t)
 
+    def deliver(ref: DataRef, dst: int, t: float) -> None:
+        """A message arrived: wake its waiting consumers."""
+        woken = set()
+        for dep in msg_waiters.get((ref, dst), ()):
+            pending[dep] -= 1
+            if pending[dep] == 0:
+                n = make_ready(dep)
+                if n is not None:
+                    woken.add(n)
+        for n in woken:
+            dispatch(n, t)
+
     # seed: initial messages and dependency-free tasks
     for ref, src, dst in initial_msgs:
-        send(ref, src, dst, 0.0)
+        model.send(ref, src, dst, 0.0)
     touched = set()
     for t in tasks:
         if pending[t.tid] == 0:
@@ -260,11 +263,8 @@ def simulate(
                 completion[tid] = now
             # push produced version to remote consumers
             dests = push_plan.get(tid, ())
-            if cluster.multicast == "tree" and len(dests) > 1:
-                multicast_tree(task.node, dests, now)
-            else:
-                for ref, dst in dests:
-                    send(ref, task.node, dst, now)
+            if dests:
+                model.multicast(task.node, dests, now)
             # wake local dependents, then refill the freed worker
             woken = {task.node}
             for dep in local_dependents[tid]:
@@ -283,17 +283,12 @@ def simulate(
             idle[task.node] += 1
             for n in woken:
                 dispatch(n, now)
-        else:  # message arrival
+        elif etype == _MSG_ARRIVE:
             ref, dst = payload
-            woken = set()
-            for dep in msg_waiters.get((ref, dst), ()):
-                pending[dep] -= 1
-                if pending[dep] == 0:
-                    n = make_ready(dep)
-                    if n is not None:
-                        woken.add(n)
-            for n in woken:
-                dispatch(n, now)
+            deliver(ref, dst, now)
+        else:  # network-internal event (contention-model flow bookkeeping)
+            for ref, dst in model.on_internal(payload, now):
+                deliver(ref, dst, now)
 
     if completed != n_tasks:
         stuck = int(np.sum(~done))
@@ -307,10 +302,14 @@ def simulate(
         makespan=now,
         total_flops=graph.total_flops,
         n_tasks=n_tasks,
-        n_messages=n_messages,
-        bytes_sent=float(n_messages) * cluster.tile_bytes,
+        n_messages=model.n_messages,
+        bytes_sent=float(model.n_messages) * cluster.tile_bytes,
         busy_time=busy,
-        sent_messages=sent,
+        sent_messages=model.msgs_sent,
         task_records=records,
         completion_times=completion,
+        network=model.name,
+        recv_messages=model.msgs_recv,
+        net_stats=model.stats(),
+        msg_records=model.msg_records,
     )

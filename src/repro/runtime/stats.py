@@ -17,7 +17,15 @@ import numpy as np
 from .graph import TaskGraph, TaskKind
 from .trace import ExecutionTrace
 
-__all__ = ["TraceStats", "compute_stats", "concurrency_profile", "iteration_overlap"]
+__all__ = [
+    "TraceStats",
+    "compute_stats",
+    "concurrency_profile",
+    "iteration_overlap",
+    "extract_critical_path",
+    "critical_path_breakdown",
+    "comm_breakdown",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,86 @@ def iteration_overlap(trace: ExecutionTrace, graph: TaskGraph) -> int:
             if active[k] == 0:
                 del active[k]
     return best
+
+
+def extract_critical_path(trace: ExecutionTrace, graph: TaskGraph) -> List[int]:
+    """The executed critical path, as a list of task ids.
+
+    Walks backwards from the last-finishing task, at each step following
+    the dependency that finished latest (the one the task most plausibly
+    waited for).  The returned chain is ordered first → last.  Gaps
+    between a predecessor's end and a task's start are communication or
+    queueing delay — :func:`critical_path_breakdown` quantifies them.
+    """
+    if trace.task_records is None:
+        raise ValueError("trace has no task records; simulate with record_tasks=True")
+    end = {r.tid: r.end for r in trace.task_records}
+    path: List[int] = []
+    cur = max(end, key=end.get)  # type: ignore[arg-type]
+    while True:
+        path.append(cur)
+        deps = graph.dependencies(graph.tasks[cur])
+        if not deps:
+            break
+        cur = max(deps, key=lambda d: end[d])
+    path.reverse()
+    return path
+
+
+def critical_path_breakdown(trace: ExecutionTrace, graph: TaskGraph) -> Dict[str, object]:
+    """Where the executed critical path spends its time.
+
+    Returns kernel time by kind along the chain, the total wait time
+    (communication + queueing between consecutive chain tasks), the
+    chain length, and the fraction of the makespan the chain covers —
+    the quantitative version of the paper's "is this run
+    dependency-limited?" discussions.
+    """
+    path = extract_critical_path(trace, graph)
+    rec = {r.tid: r for r in trace.task_records or ()}
+    time_by_kind: Dict[str, float] = {}
+    wait = 0.0
+    for prev, cur in zip(path, path[1:]):
+        wait += max(0.0, rec[cur].start - rec[prev].end)
+    wait += max(0.0, rec[path[0]].start)
+    for tid in path:
+        kind = graph.tasks[tid].kind.name
+        time_by_kind[kind] = time_by_kind.get(kind, 0.0) + (rec[tid].end - rec[tid].start)
+    span = trace.makespan or 1.0
+    return {
+        "path": path,
+        "n_tasks": len(path),
+        "time_by_kind": time_by_kind,
+        "wait_time": wait,
+        "task_time": sum(time_by_kind.values()),
+        "coverage": (sum(time_by_kind.values()) + wait) / span,
+    }
+
+
+def comm_breakdown(trace: ExecutionTrace) -> Dict[str, object]:
+    """Link-busy and idle-time breakdown from the network model stats.
+
+    Per-node NIC busy fractions (tx/rx), shared-link busy/idle fraction
+    (contention model; 0 under ``nic``), and per-node bytes
+    sent/received.  Requires a v2 trace (``trace.net_stats``).
+    """
+    if trace.net_stats is None:
+        raise ValueError("trace has no network stats (pre-v2 trace?)")
+    net = trace.net_stats
+    fr = net.busy_fractions(trace.makespan)
+    return {
+        "model": net.model,
+        "bytes_sent": net.bytes_sent.copy(),
+        "bytes_recv": net.bytes_recv.copy(),
+        "msgs_sent": net.msgs_sent.copy(),
+        "msgs_recv": net.msgs_recv.copy(),
+        "tx_busy_fraction": fr["tx_busy"],
+        "rx_busy_fraction": fr["rx_busy"],
+        "link_busy_fraction": float(fr["link_busy"]),
+        "link_idle_fraction": float(fr["link_idle"]),
+        "n_eager": net.n_eager,
+        "n_rendezvous": net.n_rendezvous,
+    }
 
 
 def compute_stats(trace: ExecutionTrace, graph: TaskGraph) -> TraceStats:

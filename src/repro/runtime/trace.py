@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .cluster import ClusterSpec
 
-__all__ = ["TaskRecord", "ExecutionTrace"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import NetworkStats
+
+__all__ = ["TaskRecord", "MsgRecord", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
@@ -20,6 +24,23 @@ class TaskRecord:
     node: int
     start: float
     end: float
+
+
+@dataclass(frozen=True)
+class MsgRecord:
+    """One inter-node tile transfer (optional detailed tracing).
+
+    ``start`` is when the message occupied its first network resource
+    (sender NIC), ``end`` when it was delivered at the receiver.
+    """
+
+    data: int
+    version: int
+    src: int
+    dst: int
+    start: float
+    end: float
+    nbytes: float
 
 
 @dataclass
@@ -36,6 +57,10 @@ class ExecutionTrace:
     sent_messages: np.ndarray  #: per-node messages sent
     task_records: Optional[List[TaskRecord]] = None
     completion_times: Optional[np.ndarray] = None
+    network: str = "nic"  #: name of the network model that produced the trace
+    recv_messages: Optional[np.ndarray] = None  #: per-node messages received
+    net_stats: Optional["NetworkStats"] = None  #: structured comm observability
+    msg_records: Optional[List[MsgRecord]] = None  #: per-message tracing
 
     # ------------------------------------------------------------------
     @property
@@ -71,6 +96,40 @@ class ExecutionTrace:
             "n_messages": float(self.n_messages),
             "gbytes_sent": self.bytes_sent / 1e9,
         }
+
+    def to_canonical(self) -> Dict[str, object]:
+        """Exact, serialization-stable view of the simulated outcome.
+
+        Floats are rendered with :meth:`float.hex` so two traces are
+        equal **iff** their canonical JSON dumps are byte-identical —
+        the contract of the golden-trace regression tests.  Per-task and
+        per-message records are folded into SHA-256 digests to keep
+        golden files small while still pinning every start/end time.
+        """
+        out: Dict[str, object] = {
+            "network": self.network,
+            "n_tasks": int(self.n_tasks),
+            "n_messages": int(self.n_messages),
+            "makespan": float(self.makespan).hex(),
+            "total_flops": float(self.total_flops).hex(),
+            "bytes_sent": float(self.bytes_sent).hex(),
+            "busy_time": [float(x).hex() for x in self.busy_time],
+            "sent_messages": [int(x) for x in self.sent_messages],
+        }
+        if self.recv_messages is not None:
+            out["recv_messages"] = [int(x) for x in self.recv_messages]
+        if self.task_records is not None:
+            blob = ";".join(
+                f"{r.tid},{r.node},{float(r.start).hex()},{float(r.end).hex()}"
+                for r in self.task_records)
+            out["task_records_sha256"] = hashlib.sha256(blob.encode()).hexdigest()
+        if self.msg_records is not None:
+            blob = ";".join(
+                f"{m.data},{m.version},{m.src},{m.dst},"
+                f"{float(m.start).hex()},{float(m.end).hex()}"
+                for m in self.msg_records)
+            out["msg_records_sha256"] = hashlib.sha256(blob.encode()).hexdigest()
+        return out
 
     def __repr__(self) -> str:
         return (

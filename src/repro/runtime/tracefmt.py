@@ -3,44 +3,73 @@
 ``to_chrome_trace`` emits the ``chrome://tracing`` / Perfetto event
 format so a simulated schedule can be inspected interactively —
 the same workflow StarPU users apply to real traces (Section II-C's
-runtime does exactly this with FxT/ViTE).
+runtime does exactly this with FxT/ViTE).  Besides the per-task "X"
+slices, v2 traces also carry counter ("C") events: per-node running
+tasks, cumulative bytes sent per node, and — when the trace was
+produced by the contention network model — the number of flows in
+flight on the shared bisection link.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from .graph import TaskGraph
 from .trace import ExecutionTrace
 
-__all__ = ["to_chrome_trace", "save_chrome_trace", "text_gantt"]
+__all__ = ["to_chrome_trace", "save_chrome_trace", "text_gantt", "assign_lanes"]
+
+#: pid used for the synthetic "network" process that carries link counters
+NETWORK_PID = 1 << 20
+
+
+def assign_lanes(records) -> Dict[int, int]:
+    """Pack task records into per-node worker lanes.
+
+    Uses a per-node min-heap of ``(free_time, lane)`` — a record reuses
+    the earliest-freed lane when that lane is free by its start time,
+    otherwise opens a new lane.  Greedy-by-start with earliest-free
+    reuse is optimal, so the lane count per node equals the peak task
+    concurrency on that node and never exceeds ``cores_per_node``.
+
+    Returns ``{tid: lane}``.
+    """
+    lanes: Dict[int, int] = {}
+    free_heap: Dict[int, List[tuple]] = {}
+    n_lanes: Dict[int, int] = {}
+    for rec in sorted(records, key=lambda r: (r.start, r.end, r.tid)):
+        heap = free_heap.setdefault(rec.node, [])
+        if heap and heap[0][0] <= rec.start + 1e-15:
+            _, lane = heapq.heappop(heap)
+        else:
+            lane = n_lanes.get(rec.node, 0)
+            n_lanes[rec.node] = lane + 1
+        lanes[rec.tid] = lane
+        heapq.heappush(heap, (rec.end, lane))
+    return lanes
 
 
 def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) -> List[dict]:
     """Convert task records into Chrome-tracing "complete" (X) events.
 
     Requires the trace to have been produced with ``record_tasks=True``.
-    Each node becomes a process; workers are inferred greedily from
-    task overlap and become threads.
+    Each node becomes a process; workers are packed into threads with
+    :func:`assign_lanes` (heap-based, so lane count equals the node's
+    peak concurrency).  Counter events add per-node running-task and
+    cumulative-bytes-sent series, plus an in-flight-flows series for
+    the contention model's shared link.
     """
     if trace.task_records is None:
         raise ValueError("trace has no task records; simulate with record_tasks=True")
 
     events: List[dict] = []
-    # assign records to per-node "worker lanes" greedily by start time
-    lanes_free: dict[int, List[float]] = {}
-    for rec in sorted(trace.task_records, key=lambda r: (r.start, r.end)):
-        free = lanes_free.setdefault(rec.node, [])
-        for lane, t in enumerate(free):
-            if t <= rec.start + 1e-15:
-                free[lane] = rec.end
-                lane_id = lane
-                break
-        else:
-            free.append(rec.end)
-            lane_id = len(free) - 1
+    lanes = assign_lanes(trace.task_records)
+    seen_nodes = set()
+    for rec in trace.task_records:
+        seen_nodes.add(rec.node)
         name = f"task {rec.tid}"
         if graph is not None:
             name = repr(graph.tasks[rec.tid])
@@ -51,15 +80,61 @@ def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) ->
             "ts": rec.start * 1e6,   # microseconds
             "dur": (rec.end - rec.start) * 1e6,
             "pid": rec.node,
-            "tid": lane_id,
+            "tid": lanes[rec.tid],
         })
-    for node in lanes_free:
+    for node in seen_nodes:
         events.append({
             "name": "process_name",
             "ph": "M",
             "pid": node,
             "args": {"name": f"node {node}"},
         })
+    events.extend(_counter_events(trace))
+    return events
+
+
+def _counter_events(trace: ExecutionTrace) -> List[dict]:
+    """Counter ("C") series derived from task and message records."""
+    events: List[dict] = []
+    # per-node running-task counters
+    deltas: Dict[int, List[tuple]] = {}
+    for rec in trace.task_records or ():
+        deltas.setdefault(rec.node, []).extend(
+            [(rec.start, +1), (rec.end, -1)])
+    for node, evts in deltas.items():
+        evts.sort()
+        running = 0
+        last_t = None
+        for t, d in evts:
+            running += d
+            if last_t == t:
+                events[-1]["args"]["tasks"] = running
+            else:
+                events.append({"name": "running_tasks", "ph": "C",
+                               "ts": t * 1e6, "pid": node,
+                               "args": {"tasks": running}})
+            last_t = t
+    if trace.msg_records:
+        # cumulative bytes sent per node (stamped at message start)
+        cum: Dict[int, float] = {}
+        for m in sorted(trace.msg_records, key=lambda m: (m.start, m.src)):
+            cum[m.src] = cum.get(m.src, 0.0) + m.nbytes
+            events.append({"name": "bytes_sent_total", "ph": "C",
+                           "ts": m.start * 1e6, "pid": m.src,
+                           "args": {"bytes": cum[m.src]}})
+        # flows in flight on the shared fabric
+        flow_evts: List[tuple] = []
+        for m in trace.msg_records:
+            flow_evts.extend([(m.start, +1), (m.end, -1)])
+        flow_evts.sort()
+        in_flight = 0
+        for t, d in flow_evts:
+            in_flight += d
+            events.append({"name": "msgs_in_flight", "ph": "C",
+                           "ts": t * 1e6, "pid": NETWORK_PID,
+                           "args": {"msgs": in_flight}})
+        events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
+                       "args": {"name": f"network ({trace.network})"}})
     return events
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Sequence
 
-__all__ = ["ascii_plot", "ascii_bars", "sparkline", "owner_heatmap"]
+__all__ = ["ascii_plot", "ascii_bars", "fraction_bars", "sparkline", "owner_heatmap"]
 
 _MARKERS = "ox+*#@%&"
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -81,6 +81,26 @@ def ascii_bars(values: Dict[str, float], width: int = 50, title: str = "") -> st
     for label, v in values.items():
         n = 0 if vmax == 0 else round(v / vmax * width)
         lines.append(f"{label:<{label_w}} | {'#' * n} {v:.3g}")
+    return "\n".join(lines)
+
+
+def fraction_bars(fractions: Dict[str, float], width: int = 40, title: str = "") -> str:
+    """Bar chart for values already on a [0, 1] scale (busy fractions).
+
+    Unlike :func:`ascii_bars` the bars are *not* normalized to the
+    maximum — a half-full bar means 50 %, so per-node NIC occupancies
+    and the shared-link busy fraction from
+    :func:`repro.runtime.stats.comm_breakdown` compare visually across
+    traces.
+    """
+    if not fractions:
+        return f"{title}\n(no data)"
+    label_w = max(len(k) for k in fractions)
+    lines = [title] if title else []
+    for label, v in fractions.items():
+        v = min(1.0, max(0.0, float(v)))
+        n = round(v * width)
+        lines.append(f"{label:<{label_w}} |{'#' * n}{'.' * (width - n)}| {v:6.1%}")
     return "\n".join(lines)
 
 

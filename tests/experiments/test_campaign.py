@@ -1,0 +1,130 @@
+"""Tests for the parallel campaign runner (experiments/campaign.py)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.campaign import (
+    CampaignCell,
+    DEFAULT_KERNELS,
+    format_campaign,
+    plan_campaign,
+    run_campaign,
+)
+
+TILE = 8  # small tiles keep the simulated graphs cheap
+
+
+class TestPlanner:
+    def test_family_kernel_pairing(self):
+        cells = plan_campaign(["g2dbc", "gcrm"], Ps=[5], ms=[6])
+        kernels = {(c.family, c.kernel) for c in cells}
+        assert kernels == {("g2dbc", "lu"), ("gcrm", "cholesky")}
+
+    def test_infeasible_sbc_dropped(self):
+        # SBC exists at P=10 (triangle a=4) but not at P=7
+        cells = plan_campaign(["sbc"], Ps=[7, 10], ms=[6])
+        assert {c.P for c in cells} == {10}
+
+    def test_networks_and_sizes_expand(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6, 8],
+                              networks=["nic", "contention"])
+        assert len(cells) == 4
+        assert {(c.m, c.network) for c in cells} == {
+            (6, "nic"), (6, "contention"), (8, "nic"), (8, "contention")}
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            plan_campaign(["hilbert"], Ps=[5], ms=[6])
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            plan_campaign(["g2dbc"], Ps=[5], ms=[6], networks=["carrier-pigeon"])
+
+    def test_every_family_has_default_kernels(self):
+        from repro.patterns.library import PATTERN_FAMILIES
+        assert set(DEFAULT_KERNELS) == set(PATTERN_FAMILIES)
+
+
+class TestRunner:
+    def test_rows_align_with_cells(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              networks=["nic", "contention"])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        assert len(rows) == len(cells)
+        for cell, row in zip(cells, rows):
+            assert (row.family, row.kernel, row.P, row.m, row.network) == (
+                cell.family, cell.kernel, cell.P, cell.m, cell.network)
+
+    def test_predictions_agree(self):
+        cells = plan_campaign(["g2dbc", "gcrm"], Ps=[5], ms=[8])
+        for row in run_campaign(cells, jobs=1, tile_size=TILE):
+            assert row.predicted_messages == row.simulated_messages
+            assert row.makespan_s >= row.predicted_makespan_s - 1e-9
+            assert row.makespan_ratio >= 1.0 - 1e-9
+
+    def test_memo_reused_and_results_identical(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6])
+        memo = {}
+        rows1 = run_campaign(cells, jobs=1, tile_size=TILE, memo=memo)
+        n_cached = len(memo)
+        rows2 = run_campaign(cells, jobs=1, tile_size=TILE, memo=memo)
+        assert len(memo) == n_cached  # nothing recomputed
+        assert [r.as_dict() for r in rows1] == [r.as_dict() for r in rows2]
+        # memoized rows are shared objects, not re-simulated copies
+        assert all(a is b for a, b in zip(rows1, rows2))
+
+    def test_duplicate_cells_simulated_once(self):
+        cell = CampaignCell("g2dbc", "lu", 5, 6)
+        memo = {}
+        rows = run_campaign([cell, cell], jobs=1, tile_size=TILE, memo=memo)
+        assert len(rows) == 2 and rows[0] is rows[1]
+        assert len(memo) == 1
+
+    def test_format_contains_all_rows(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              networks=["nic", "contention"])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        text = format_campaign(rows)
+        assert text.count("g2dbc") == len(rows)
+        assert "msg pred" in text and "msg sim" in text
+
+
+class TestJobsIndependence:
+    """Property (satellite 3): campaign rows do not depend on ``jobs``."""
+
+    @given(st.sampled_from([("g2dbc", 5), ("g2dbc", 7), ("gcrm", 5)]),
+           st.sampled_from([5, 6, 7]),
+           st.sampled_from(["nic", "contention"]))
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    def test_jobs_1_vs_2(self, fam_P, m, network):
+        family, P = fam_P
+        cells = plan_campaign([family], Ps=[P], ms=[m], networks=[network])
+        serial = run_campaign(cells, jobs=1, tile_size=TILE)
+        parallel = run_campaign(cells, jobs=2, tile_size=TILE)
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+    def test_chunk_size_independence(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5, 7], ms=[5, 6])
+        a = run_campaign(cells, jobs=2, tile_size=TILE, chunk_size=1)
+        b = run_campaign(cells, jobs=2, tile_size=TILE, chunk_size=3)
+        assert [r.as_dict() for r in a] == [r.as_dict() for r in b]
+
+
+@pytest.mark.slow
+def test_campaign_smoke_paper_scale():
+    """A reduced Fig. 6/11-style campaign: both kernels, both network
+    models, paper tile size — the CI smoke job for the campaign path."""
+    cells = plan_campaign(["g2dbc", "gcrm"], Ps=[5, 7, 9], ms=[8, 12],
+                          networks=["nic", "contention"])
+    rows = run_campaign(cells, jobs=2, tile_size=500)
+    assert len(rows) == len(cells) == 24
+    by_key = {(r.family, r.P, r.m, r.network): r for r in rows}
+    for r in rows:
+        assert r.predicted_messages == r.simulated_messages
+        assert r.makespan_s >= r.predicted_makespan_s - 1e-9
+        if r.network == "contention":
+            nic = by_key[(r.family, r.P, r.m, "nic")]
+            assert r.makespan_s >= nic.makespan_s - 1e-15
+    print()
+    print(format_campaign(rows))

@@ -1,0 +1,139 @@
+"""Unit tests for the pluggable network models (runtime/network.py)."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.lu import build_lu_graph
+from repro.patterns.g2dbc import g2dbc
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.network import (
+    NETWORK_MODELS,
+    ContentionModel,
+    NicModel,
+    make_network,
+)
+from repro.runtime.simulator import simulate
+from repro.runtime.stats import comm_breakdown
+
+
+def cluster(P=4, bandwidth=1e9, latency=1e-6, tile_size=8):
+    return ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                       bandwidth_Bps=bandwidth, latency_s=latency,
+                       tile_size=tile_size)
+
+
+def lu_trace(P=5, m=8, network=None, **cl_kw):
+    dist = TileDistribution(g2dbc(P), m, symmetric=False)
+    graph, home = build_lu_graph(dist, 8)
+    return simulate(graph, cluster(P=P, **cl_kw), data_home=home,
+                    record_tasks=True, network=network)
+
+
+class TestRegistry:
+    def test_known_models(self):
+        assert set(NETWORK_MODELS) == {"nic", "contention"}
+
+    def test_make_network_default(self):
+        assert isinstance(make_network(None), NicModel)
+
+    def test_make_network_by_name(self):
+        assert isinstance(make_network("contention"), ContentionModel)
+
+    def test_make_network_passthrough(self):
+        model = ContentionModel(eager_threshold=0.0)
+        assert make_network(model) is model
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown network model"):
+            make_network("smoke-signals")
+
+
+class TestNicModel:
+    def test_wire_time_single_message(self):
+        """One isolated message takes exactly latency + bytes/bandwidth."""
+        cl = cluster(P=2)
+        model = NicModel()
+        arrivals = []
+        model.bind(cl, lambda t, e, p: arrivals.append((t, e, p)), record=True)
+        model.send((0, 1), 0, 1, 0.0)
+        t, _, _ = arrivals[0]
+        assert t == pytest.approx(cl.latency_s + cl.tile_bytes / cl.bandwidth_Bps)
+
+    def test_sender_serialization(self):
+        """Back-to-back sends from one node queue on its NIC."""
+        cl = cluster(P=3)
+        model = NicModel()
+        arrivals = []
+        model.bind(cl, lambda t, e, p: arrivals.append(t), record=False)
+        model.send((0, 1), 0, 1, 0.0)
+        model.send((1, 1), 0, 2, 0.0)
+        wire = cl.latency_s + cl.tile_bytes / cl.bandwidth_Bps
+        assert arrivals[0] == pytest.approx(wire)
+        assert arrivals[1] == pytest.approx(2 * wire)
+
+
+class TestContentionModel:
+    def test_eager_vs_rendezvous_latency(self):
+        """Messages over the eager threshold pay the handshake RTTs."""
+        big = lu_trace(network=ContentionModel(eager_threshold=0.0))
+        small = lu_trace(network=ContentionModel(eager_threshold=1e12))
+        assert big.net_stats.n_rendezvous == big.n_messages
+        assert big.net_stats.n_eager == 0
+        assert small.net_stats.n_eager == small.n_messages
+        assert small.net_stats.n_rendezvous == 0
+        assert big.makespan >= small.makespan
+
+    def test_rx_serialization_observable(self):
+        """Under contention the receive side is busy too."""
+        trace = lu_trace(network="contention")
+        assert trace.net_stats.rx_busy.sum() > 0
+        assert trace.net_stats.link_busy > 0
+
+    def test_smaller_bisection_slower(self):
+        """Shrinking the shared link can only hurt."""
+        wide = lu_trace(network=ContentionModel(bisection_Bps=1e12))
+        narrow = lu_trace(network=ContentionModel(bisection_Bps=1e8))
+        assert narrow.makespan >= wide.makespan
+        assert narrow.n_messages == wide.n_messages
+
+    def test_flow_conservation(self):
+        """Every byte sent is a byte received, and totals match counts."""
+        trace = lu_trace(network="contention")
+        net = trace.net_stats
+        assert net.bytes_sent.sum() == net.bytes_recv.sum()
+        assert net.msgs_sent.sum() == net.msgs_recv.sum() == trace.n_messages
+        assert net.bytes_sent.sum() == pytest.approx(
+            trace.n_messages * trace.cluster.tile_bytes)
+
+    def test_msg_records_cover_all_messages(self):
+        trace = lu_trace(network="contention")
+        assert len(trace.msg_records) == trace.n_messages
+        for rec in trace.msg_records:
+            assert rec.end > rec.start >= 0.0
+            assert rec.src != rec.dst
+
+
+class TestStatsIntegration:
+    def test_comm_breakdown_fields(self):
+        trace = lu_trace(network="contention")
+        comm = comm_breakdown(trace)
+        assert comm["model"] == "contention"
+        assert 0.0 < comm["link_busy_fraction"] <= 1.0
+        assert comm["link_idle_fraction"] == pytest.approx(
+            1.0 - comm["link_busy_fraction"])
+        assert comm["n_eager"] + comm["n_rendezvous"] == trace.n_messages
+
+    def test_nic_has_idle_link(self):
+        """The legacy model never touches the shared link."""
+        trace = lu_trace(network="nic")
+        comm = comm_breakdown(trace)
+        assert comm["link_busy_fraction"] == 0.0
+        np.testing.assert_array_equal(
+            comm["msgs_sent"], trace.sent_messages)
+
+    def test_pre_v2_trace_raises(self):
+        trace = lu_trace(network="nic")
+        trace.net_stats = None
+        with pytest.raises(ValueError, match="network stats"):
+            comm_breakdown(trace)

@@ -11,7 +11,13 @@ from repro.patterns.sbc import sbc
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.graph import TaskGraph, TaskKind
 from repro.runtime.simulator import simulate
-from repro.runtime.stats import compute_stats, concurrency_profile, iteration_overlap
+from repro.runtime.stats import (
+    compute_stats,
+    concurrency_profile,
+    critical_path_breakdown,
+    extract_critical_path,
+    iteration_overlap,
+)
 
 
 def cluster(nnodes, cores=2):
@@ -99,3 +105,40 @@ class TestIterationOverlap:
         graph, home = build_cholesky_graph(dist, 8)
         trace = simulate(graph, cluster(10, 2), data_home=home, record_tasks=True)
         assert iteration_overlap(trace, graph) >= 2
+
+
+class TestCriticalPath:
+    def test_chain_is_whole_path(self):
+        """A pure dependency chain IS the critical path."""
+        g = TaskGraph(n_data=1, nnodes=1)
+        for k in range(4):
+            g.submit(TaskKind.GEMM, 0, 0, k, 0, 1e9, (g.current(0),), 0)
+        trace = simulate(g, cluster(1), record_tasks=True)
+        path = extract_critical_path(trace, g)
+        assert path == [0, 1, 2, 3]
+
+    def test_path_is_dependency_chain(self):
+        graph, trace = lu_run(bc2d(2, 2), n=8)
+        path = extract_critical_path(trace, graph)
+        rec = {r.tid: r for r in trace.task_records}
+        for prev, cur in zip(path, path[1:]):
+            assert prev in graph.dependencies(graph.tasks[cur])
+            assert rec[prev].end <= rec[cur].start + 1e-15
+        assert rec[path[-1]].end == max(r.end for r in trace.task_records)
+
+    def test_breakdown_covers_makespan(self):
+        """Task time + wait time along the chain ends at the makespan."""
+        graph, trace = lu_run(bc2d(2, 2), n=8)
+        bd = critical_path_breakdown(trace, graph)
+        assert bd["n_tasks"] == len(bd["path"])
+        assert bd["task_time"] > 0
+        assert bd["wait_time"] >= 0
+        assert bd["coverage"] == pytest.approx(1.0)
+        assert sum(bd["time_by_kind"].values()) == pytest.approx(bd["task_time"])
+
+    def test_requires_records(self):
+        dist = TileDistribution(bc2d(2, 2), 4)
+        graph, home = build_lu_graph(dist, 8)
+        trace = simulate(graph, cluster(4), data_home=home)
+        with pytest.raises(ValueError):
+            extract_critical_path(trace, graph)

@@ -12,7 +12,12 @@ from repro.patterns.g2dbc import g2dbc
 from repro.runtime.analysis import memory_footprint
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simulator import simulate
-from repro.runtime.tracefmt import save_chrome_trace, text_gantt, to_chrome_trace
+from repro.runtime.tracefmt import (
+    assign_lanes,
+    save_chrome_trace,
+    text_gantt,
+    to_chrome_trace,
+)
 
 
 def run(pattern, n=6, record=True):
@@ -60,6 +65,79 @@ class TestChromeTrace:
         save_chrome_trace(trace, path, graph)
         data = json.loads(path.read_text())
         assert "traceEvents" in data
+
+
+class TestLaneAssignment:
+    """The heap-based lane packer: lanes == peak concurrency per node."""
+
+    @pytest.mark.parametrize("pattern,n,cores", [
+        (bc2d(2, 2), 6, 2), (bc2d(2, 2), 8, 3), (g2dbc(5), 8, 4),
+    ])
+    def test_lane_count_never_exceeds_cores(self, pattern, n, cores):
+        dist = TileDistribution(pattern, n)
+        graph, home = build_lu_graph(dist, 8)
+        cl = ClusterSpec(nnodes=pattern.nnodes, cores_per_node=cores,
+                         core_gflops=1.0, bandwidth_Bps=1e9, latency_s=0.0,
+                         tile_size=8)
+        trace = simulate(graph, cl, data_home=home, record_tasks=True)
+        lanes = assign_lanes(trace.task_records)
+        per_node = {}
+        for rec in trace.task_records:
+            per_node.setdefault(rec.node, set()).add(lanes[rec.tid])
+        for node, used in per_node.items():
+            assert len(used) <= cores, (
+                f"node {node} uses {len(used)} lanes with {cores} cores")
+            assert used == set(range(len(used)))  # dense lane ids
+
+    def test_no_overlap_within_lane(self):
+        graph, trace, _, _ = run(bc2d(2, 2), n=8)
+        lanes = assign_lanes(trace.task_records)
+        spans = {}
+        for rec in trace.task_records:
+            spans.setdefault((rec.node, lanes[rec.tid]), []).append(
+                (rec.start, rec.end))
+        for lane_spans in spans.values():
+            lane_spans.sort()
+            for (_, e1), (s2, _) in zip(lane_spans, lane_spans[1:]):
+                assert s2 >= e1 - 1e-15
+
+    def test_heap_reuses_freed_lane(self):
+        """Sequential tasks must share one lane, not open new ones."""
+        from repro.runtime.trace import TaskRecord
+        records = [TaskRecord(tid=i, node=0, start=float(i), end=float(i) + 1.0)
+                   for i in range(5)]
+        lanes = assign_lanes(records)
+        assert set(lanes.values()) == {0}
+
+
+class TestCounterEvents:
+    def test_running_tasks_counter_present(self):
+        graph, trace, _, _ = run(bc2d(2, 2))
+        counters = [e for e in to_chrome_trace(trace)
+                    if e.get("ph") == "C" and e["name"] == "running_tasks"]
+        assert counters
+        assert all(e["args"]["tasks"] >= 0 for e in counters)
+        assert any(e["args"]["tasks"] > 0 for e in counters)
+
+    def test_bytes_and_flow_counters_with_messages(self):
+        dist = TileDistribution(bc2d(2, 2), 6)
+        graph, home = build_lu_graph(dist, 8)
+        cl = ClusterSpec(nnodes=4, cores_per_node=2, core_gflops=1.0,
+                         bandwidth_Bps=1e9, latency_s=0.0, tile_size=8)
+        trace = simulate(graph, cl, data_home=home, record_tasks=True,
+                         network="contention")
+        events = to_chrome_trace(trace)
+        byte_counters = [e for e in events if e.get("name") == "bytes_sent_total"]
+        flight = [e for e in events if e.get("name") == "msgs_in_flight"]
+        assert len(byte_counters) == trace.n_messages
+        # cumulative per node: last sample equals that node's byte total
+        last = {}
+        for e in byte_counters:
+            last[e["pid"]] = e["args"]["bytes"]
+        for node, total in last.items():
+            assert total == pytest.approx(trace.net_stats.bytes_sent[node])
+        # in-flight counter returns to zero once all flows drain
+        assert flight[-1]["args"]["msgs"] == 0
 
 
 class TestTextGantt:
