@@ -39,23 +39,30 @@ __all__ = ["build_cholesky_graph", "execute_cholesky", "cholesky_task_count"]
 
 
 def cholesky_task_count(n: int) -> int:
-    """Number of tasks of the tiled Cholesky on ``n × n`` tiles."""
-    # n potrf + sum(n-1-k) trsm + sum(n-1-k) syrk + sum C(n-1-k, 2) gemm
-    total = n
-    for k in range(n):
-        t = n - 1 - k
-        total += 2 * t + t * (t - 1) // 2
-    return total
+    """Number of tasks of the tiled Cholesky on ``n × n`` tiles (closed form).
+
+    ``n`` POTRF + ``n(n-1)/2`` TRSM + ``n(n-1)/2`` SYRK +
+    ``Σ_k C(n-1-k, 2) = C(n, 3)`` GEMM.
+    """
+    return n + n * (n - 1) + n * (n - 1) * (n - 2) // 6
 
 
 def build_cholesky_graph(
     dist: TileDistribution, tile_size: int
 ) -> Tuple[TaskGraph, np.ndarray]:
-    """Build the Cholesky task graph for a symmetric distribution."""
+    """Build the Cholesky task graph for a symmetric distribution.
+
+    As in :func:`repro.dla.lu.build_lu_graph`, each iteration is emitted
+    as two array batches — the panel (POTRF + TRSMs) and the trailing
+    update (SYRK/GEMM interleaved i-major, matching the reference
+    builder's ``for i: SYRK(i,i); for j<i: GEMM(i,j)`` order).  Every
+    lower-triangle tile touched at iteration ``k`` moves from version
+    ``k`` to ``k + 1``; panel reads reference ``((i,k), k+1)``.
+    """
     if not dist.symmetric:
         raise ValueError("Cholesky requires a symmetric distribution")
     n = dist.n_tiles
-    own = dist.owners
+    own_flat = dist.owners.astype(np.int64).reshape(-1)
     graph = TaskGraph(n_data=n * n, nnodes=dist.nnodes)
     b = tile_size
     f_potrf, f_trsm, f_syrk, f_gemm = (
@@ -65,29 +72,60 @@ def build_cholesky_graph(
         flops_gemm(b),
     )
 
-    def d(i: int, j: int) -> int:
-        return i * n + j
-
     for k in range(n):
-        dk = d(k, k)
-        graph.submit(TaskKind.POTRF, k, k, k, int(own[k, k]), f_potrf,
-                     (graph.current(dk),), dk)
-        diag_ref = graph.current(dk)
-        for i in range(k + 1, n):
-            dik = d(i, k)
-            graph.submit(TaskKind.TRSM, i, k, k, int(own[i, k]), f_trsm,
-                         (graph.current(dik), diag_ref), dik)
-        panel_refs = {i: graph.current(d(i, k)) for i in range(k + 1, n)}
-        for i in range(k + 1, n):
-            dii = d(i, i)
-            graph.submit(TaskKind.SYRK, i, i, k, int(own[i, i]), f_syrk,
-                         (graph.current(dii), panel_refs[i]), dii)
-            for j in range(k + 1, i):
-                dij = d(i, j)
-                graph.submit(TaskKind.GEMM, i, j, k, int(own[i, j]), f_gemm,
-                             (graph.current(dij), panel_refs[i], panel_refs[j]), dij)
+        dk = k * n + k
+        t = n - k - 1
+        r = np.arange(k + 1, n, dtype=np.int64)
+
+        # panel batch: POTRF(k,k), TRSM(i,k) for i > k
+        pi = np.concatenate(([k], r))
+        pdata = pi * n + k
+        pkind = np.concatenate(
+            ([TaskKind.POTRF], np.full(t, TaskKind.TRSM, dtype=np.int64)))
+        pflops = np.concatenate(([f_potrf], np.full(t, f_trsm)))
+        rdata = np.concatenate(
+            ([dk], np.stack([pdata[1:], np.full(t, dk, dtype=np.int64)],
+                            axis=1).ravel()))
+        rver = np.concatenate(([k], np.tile([k, k + 1], t)))
+        rcounts = np.concatenate(([1], np.full(t, 2, dtype=np.int64)))
+        graph.append_batch(
+            kind=pkind, i=pi, j=np.full(t + 1, k, dtype=np.int64), k=k,
+            node=own_flat[pdata], flops=pflops, read_data=rdata,
+            read_version=rver, read_counts=rcounts, write_data=pdata)
+
+        # trailing-update batch: for each i > k, SYRK(i,i) then
+        # GEMM(i,j) for k < j < i — flattened with a within-group index
+        # w so that w == 0 is the SYRK and w >= 1 is GEMM at j = k + w
+        if t:
+            cnt = np.arange(1, t + 1, dtype=np.int64)
+            total = t * (t + 1) // 2
+            i_col = np.repeat(r, cnt)
+            offsets = np.cumsum(cnt) - cnt
+            w = np.arange(total, dtype=np.int64) - np.repeat(offsets, cnt)
+            is_syrk = w == 0
+            j_col = np.where(is_syrk, i_col, k + w)
+            ud = i_col * n + j_col
+            ukind = np.where(is_syrk, np.int64(TaskKind.SYRK),
+                             np.int64(TaskKind.GEMM))
+            uflops = np.where(is_syrk, f_syrk, f_gemm)
+            rcounts = np.where(is_syrk, 2, 3).astype(np.int64)
+            pos = np.cumsum(rcounts) - rcounts
+            nreads = 3 * total - t
+            rdata = np.empty(nreads, dtype=np.int64)
+            rver = np.empty(nreads, dtype=np.int64)
+            rdata[pos] = ud
+            rver[pos] = k
+            rdata[pos + 1] = i_col * n + k
+            rver[pos + 1] = k + 1
+            gpos = pos[~is_syrk] + 2
+            rdata[gpos] = j_col[~is_syrk] * n + k
+            rver[gpos] = k + 1
+            graph.append_batch(
+                kind=ukind, i=i_col, j=j_col, k=k, node=own_flat[ud],
+                flops=uflops, read_data=rdata, read_version=rver,
+                read_counts=rcounts, write_data=ud)
     # data_home: lower-triangle owners; mirrored entries for safety
-    data_home = own.reshape(-1).astype(np.int64)
+    data_home = own_flat.copy()
     return graph, data_home
 
 

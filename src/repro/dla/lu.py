@@ -59,9 +59,12 @@ class MessageLog:
 
 
 def lu_task_count(n: int) -> int:
-    """Number of tasks of the tiled LU on ``n × n`` tiles."""
-    # n getrf + 2*sum(n-1-k) trsm + sum (n-1-k)^2 gemm
-    return n + 2 * (n * (n - 1) // 2) + sum((n - 1 - k) ** 2 for k in range(n))
+    """Number of tasks of the tiled LU on ``n × n`` tiles (closed form).
+
+    ``n`` GETRF + ``n(n-1)`` TRSM + ``Σ_k (n-1-k)² = n(n-1)(2n-1)/6``
+    GEMM.
+    """
+    return n + n * (n - 1) + n * (n - 1) * (2 * n - 1) // 6
 
 
 def build_lu_graph(
@@ -70,39 +73,62 @@ def build_lu_graph(
     """Build the LU task graph for a distribution.
 
     Returns the graph and ``data_home`` (initial owner of every tile).
+
+    The graph is emitted iteration by iteration as whole-panel /
+    whole-trailing-update array batches (two ``append_batch`` calls per
+    ``k``, no per-tile ``submit``), producing exactly the task sequence
+    of the per-tile reference builder
+    (:func:`repro.runtime.objgraph.build_lu_graph_reference`): tile
+    ``(i, j)`` is written once per iteration ``k ≤ min(i, j)``, so at
+    iteration ``k`` every touched tile moves from version ``k`` to
+    ``k + 1``.
     """
     if dist.symmetric:
         raise ValueError("LU requires a non-symmetric distribution")
     n = dist.n_tiles
-    own = dist.owners
+    own_flat = dist.owners.astype(np.int64).reshape(-1)
     graph = TaskGraph(n_data=n * n, nnodes=dist.nnodes)
     b = tile_size
     f_getrf, f_trsm, f_gemm = flops_getrf(b), flops_trsm(b), flops_gemm(b)
 
-    def d(i: int, j: int) -> int:
-        return i * n + j
-
     for k in range(n):
-        dk = d(k, k)
-        graph.submit(TaskKind.GETRF, k, k, k, int(own[k, k]), f_getrf,
-                     (graph.current(dk),), dk)
-        diag_ref = graph.current(dk)
-        for i in range(k + 1, n):
-            dik = d(i, k)
-            graph.submit(TaskKind.TRSM, i, k, k, int(own[i, k]), f_trsm,
-                         (graph.current(dik), diag_ref), dik)
-        for j in range(k + 1, n):
-            dkj = d(k, j)
-            graph.submit(TaskKind.TRSM, k, j, k, int(own[k, j]), f_trsm,
-                         (graph.current(dkj), diag_ref), dkj)
-        col_refs = [graph.current(d(i, k)) for i in range(k + 1, n)]
-        row_refs = [graph.current(d(k, j)) for j in range(k + 1, n)]
-        for ii, i in enumerate(range(k + 1, n)):
-            for jj, j in enumerate(range(k + 1, n)):
-                dij = d(i, j)
-                graph.submit(TaskKind.GEMM, i, j, k, int(own[i, j]), f_gemm,
-                             (graph.current(dij), col_refs[ii], row_refs[jj]), dij)
-    data_home = own.reshape(-1).astype(np.int64)
+        dk = k * n + k
+        t = n - k - 1
+        r = np.arange(k + 1, n, dtype=np.int64)
+        kf = np.full(t, k, dtype=np.int64)
+
+        # panel batch: GETRF(k,k), column TRSM(i,k), row TRSM(k,j)
+        pi = np.concatenate(([k], r, kf))
+        pj = np.concatenate(([k], kf, r))
+        pdata = pi * n + pj
+        pkind = np.concatenate(
+            ([TaskKind.GETRF], np.full(2 * t, TaskKind.TRSM, dtype=np.int64)))
+        pflops = np.concatenate(([f_getrf], np.full(2 * t, f_trsm)))
+        # reads: GETRF reads (dk, k); each TRSM reads its tile at k and
+        # the freshly factorized diagonal at k+1
+        rdata = np.concatenate(
+            ([dk], np.stack([pdata[1:], np.full(2 * t, dk, dtype=np.int64)],
+                            axis=1).ravel()))
+        rver = np.concatenate(([k], np.tile([k, k + 1], 2 * t)))
+        rcounts = np.concatenate(([1], np.full(2 * t, 2, dtype=np.int64)))
+        graph.append_batch(
+            kind=pkind, i=pi, j=pj, k=k, node=own_flat[pdata], flops=pflops,
+            read_data=rdata, read_version=rver, read_counts=rcounts,
+            write_data=pdata)
+
+        # trailing-update batch: GEMM(i,j) for i, j > k, i-major like the
+        # reference double loop
+        if t:
+            gi = np.repeat(r, t)
+            gj = np.tile(r, t)
+            gd = gi * n + gj
+            rdata = np.stack([gd, gi * n + k, k * n + gj], axis=1).ravel()
+            rver = np.tile([k, k + 1, k + 1], t * t)
+            graph.append_batch(
+                kind=TaskKind.GEMM, i=gi, j=gj, k=k, node=own_flat[gd],
+                flops=f_gemm, read_data=rdata, read_version=rver,
+                read_counts=np.full(t * t, 3, dtype=np.int64), write_data=gd)
+    data_home = own_flat.copy()
     return graph, data_home
 
 

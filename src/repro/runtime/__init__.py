@@ -2,7 +2,12 @@
 
 from .analysis import GraphBounds, MemoryStats, critical_path, makespan_bounds, memory_footprint
 from .cluster import ClusterSpec, paper_cluster
-from .graph import DataRef, Task, TaskGraph, TaskKind
+from .graph import KIND_NAMES, DataRef, GraphColumns, Task, TaskGraph, TaskKind
+from .objgraph import (
+    ObjectTaskGraph,
+    build_cholesky_graph_reference,
+    build_lu_graph_reference,
+)
 from .network import (
     NETWORK_MODELS,
     ContentionModel,
@@ -11,6 +16,7 @@ from .network import (
     NicModel,
     make_network,
 )
+from .objsim import simulate_reference
 from .simulator import SimulationError, simulate
 from .stats import (
     TraceStats,
@@ -37,9 +43,14 @@ __all__ = [
     "ClusterSpec",
     "paper_cluster",
     "DataRef",
+    "GraphColumns",
+    "KIND_NAMES",
+    "ObjectTaskGraph",
     "Task",
     "TaskGraph",
     "TaskKind",
+    "build_cholesky_graph_reference",
+    "build_lu_graph_reference",
     "NETWORK_MODELS",
     "ContentionModel",
     "NetworkModel",
@@ -55,6 +66,7 @@ __all__ = [
     "extract_critical_path",
     "iteration_overlap",
     "simulate",
+    "simulate_reference",
     "ExecutionTrace",
     "MsgRecord",
     "TaskRecord",

@@ -63,31 +63,44 @@ def critical_path(graph: TaskGraph, cluster: ClusterSpec) -> float:
     order (a task can only read versions that already exist).  A
     cross-node read adds one message time to the chain (the simulator
     may add more under NIC contention, never less).
+
+    Runs on the flat dependency CSR and a vectorized duration column —
+    no :class:`~repro.runtime.graph.Task` objects are materialized.
     """
-    tasks = graph.tasks
-    if not tasks:
+    n = len(graph)
+    if n == 0:
         return 0.0
     msg = cluster.message_time()
-    finish = np.zeros(len(tasks))
-    for t in tasks:
+    cols = graph.columns
+    indptr_a, dep_a = graph.dependencies_csr()
+    indptr = indptr_a.tolist()
+    deps = dep_a.tolist()
+    node_l = cols.node.tolist()
+    dur = cols.flops / cluster.core_flops
+    if cluster.node_speeds:
+        dur = dur / np.asarray(cluster.node_speeds, dtype=np.float64)[cols.node]
+    dur_l = dur.tolist()
+    finish = [0.0] * n
+    for t in range(n):
         start = 0.0
-        for ref in t.reads:
-            ptid = graph.producer.get(ref)
-            if ptid is None:
-                continue
-            ready = finish[ptid]
-            if tasks[ptid].node != t.node:
+        tn = node_l[t]
+        for p in deps[indptr[t]:indptr[t + 1]]:
+            ready = finish[p]
+            if node_l[p] != tn:
                 ready += msg
-            start = max(start, ready)
-        finish[t.tid] = start + cluster.task_time(t.flops, t.node)
-    return float(finish.max())
+            if ready > start:
+                start = ready
+        finish[t] = start + dur_l[t]
+    return float(max(finish))
 
 
 def makespan_bounds(graph: TaskGraph, cluster: ClusterSpec) -> GraphBounds:
     """Compute all lower bounds for ``graph`` on ``cluster``."""
-    per_node = np.zeros(cluster.nnodes)
-    for t in graph.tasks:
-        per_node[t.node] += t.flops
+    cols = graph.columns
+    # bincount accumulates in scan order, so the per-node float sums are
+    # identical to the old per-task loop
+    per_node = np.bincount(cols.node, weights=cols.flops,
+                           minlength=cluster.nnodes)
 
     total_capacity = cluster.total_speed() * cluster.core_flops
     node_bound = 0.0
@@ -148,33 +161,32 @@ def memory_footprint(
     that are never written (pure inputs) to their first reader.
     """
     n_data = graph.n_data
+    cols = graph.columns
+    rd = cols.read_data
+    rnode = cols.node[graph.read_task]
+
     home = np.full(n_data, -1, dtype=np.int64)
     if data_home is not None:
         home[: len(data_home)] = data_home
-    for t in graph.tasks:
-        d = t.write[0]
-        if home[d] < 0:
-            home[d] = t.node
-    for t in graph.tasks:
-        for d, _ in t.reads:
-            if home[d] < 0:
-                home[d] = t.node
+    # first writer's node, then first reader's node for pure inputs —
+    # reversed assignment keeps the *first* occurrence per datum
+    fw = graph.first_writer
+    no_home = (home < 0) & (fw >= 0)
+    home[no_home] = cols.node[fw[no_home]]
+    first_reader = np.full(n_data, -1, dtype=np.int64)
+    first_reader[rd[::-1]] = rnode[::-1]
+    no_home = (home < 0) & (first_reader >= 0)
+    home[no_home] = first_reader[no_home]
 
-    owned = np.zeros(cluster.nnodes, dtype=np.int64)
     used = np.zeros(n_data, dtype=bool)
-    for t in graph.tasks:
-        used[t.write[0]] = True
-        for d, _ in t.reads:
-            used[d] = True
-    for d in range(n_data):
-        if used[d] and home[d] >= 0:
-            owned[home[d]] += 1
+    used[cols.write_data] = True
+    used[rd] = True
+    owned = np.bincount(home[used & (home >= 0)], minlength=cluster.nnodes)
 
-    cached_sets: list[set] = [set() for _ in range(cluster.nnodes)]
-    for t in graph.tasks:
-        for d, _ in t.reads:
-            if home[d] >= 0 and home[d] != t.node:
-                cached_sets[t.node].add(d)
-    cached = np.array([len(s) for s in cached_sets], dtype=np.int64)
-    return MemoryStats(owned_tiles=owned, cached_tiles=cached,
+    # cached = distinct remote data per reader node
+    remote = (home[rd] >= 0) & (home[rd] != rnode)
+    pairs = np.unique(rnode[remote] * np.int64(n_data) + rd[remote])
+    cached = np.bincount(pairs // n_data, minlength=cluster.nnodes)
+    return MemoryStats(owned_tiles=owned.astype(np.int64),
+                       cached_tiles=cached.astype(np.int64),
                        tile_bytes=cluster.tile_bytes)

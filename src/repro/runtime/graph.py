@@ -1,4 +1,4 @@
-"""Task-graph representation (StarPU-style sequential task flow).
+"""Columnar task-graph representation (StarPU-style sequential task flow).
 
 A :class:`TaskGraph` is built by submitting tasks in the sequential
 order of the algorithm (exactly how Chameleon submits to StarPU,
@@ -14,15 +14,38 @@ tile is the initial matrix content, resident on the tile's owner.
 Under the owner-computes rule every task runs on the node owning the
 tile it writes, so version-0 reads of the written tile are always
 local, and inter-node messages happen only for cross-tile reads.
+
+Storage layout
+--------------
+The graph is stored structure-of-arrays, not array-of-structures: one
+NumPy column per task field (``kind``, ``i``, ``j``, ``k``, ``node``,
+``flops``, ``write_data``, ``write_version``) plus a CSR layout for the
+variable-length read lists (``read_indptr`` into flat ``read_data`` /
+``read_version`` columns).  Tasks can be appended one at a time
+(:meth:`submit`, kept for tests and small builders) or whole panels at
+a time (:meth:`append_batch`, the vectorized builders' hot path);
+either way the column store is identical.
+
+Derived indexes are computed **once** per finalized graph, vectorized,
+and cached: the per-datum first-writer index (:attr:`first_writer`),
+the per-read producer table (:attr:`read_producer`), and the CSR
+dependency table (:meth:`dependencies_csr`).  The legacy object API —
+``graph.tasks[tid]`` returning a frozen :class:`Task`, the
+``graph.producer`` mapping, ``dependencies(task)`` — survives as thin
+views that materialize from the columns on demand, so traces, tests
+and exploratory code keep working unchanged while the simulator and
+the analysis passes run on the arrays directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["TaskKind", "Task", "TaskGraph", "DataRef"]
+import numpy as np
+
+__all__ = ["TaskKind", "Task", "TaskGraph", "DataRef", "GraphColumns"]
 
 #: A (data_id, version) pair.
 DataRef = Tuple[int, int]
@@ -39,9 +62,13 @@ class TaskKind(IntEnum):
     GEMM = 4
 
 
+#: kind value -> kernel name, for array-based consumers (stats, traces)
+KIND_NAMES = tuple(k.name for k in TaskKind)
+
+
 @dataclass(frozen=True)
 class Task:
-    """One tile kernel invocation."""
+    """One tile kernel invocation (materialized view of one row)."""
 
     tid: int
     kind: TaskKind
@@ -57,27 +84,148 @@ class Task:
         return f"{self.kind.name}({self.i},{self.j};k={self.k})@{self.node}"
 
 
+@dataclass(frozen=True)
+class GraphColumns:
+    """Finalized structure-of-arrays view of a :class:`TaskGraph`.
+
+    All arrays are aligned by task id except the flat read columns,
+    which are addressed through ``read_indptr`` (CSR): the reads of
+    task ``t`` are ``read_data[read_indptr[t]:read_indptr[t+1]]`` with
+    matching ``read_version`` entries, in submission (tuple) order.
+    """
+
+    kind: np.ndarray           #: int8, TaskKind value per task
+    i: np.ndarray              #: int64, written-tile row
+    j: np.ndarray              #: int64, written-tile column
+    k: np.ndarray              #: int64, iteration index
+    node: np.ndarray           #: int64, executing node
+    flops: np.ndarray          #: float64
+    write_data: np.ndarray     #: int64, written datum id
+    write_version: np.ndarray  #: int64, version produced
+    read_indptr: np.ndarray    #: int64, len n_tasks + 1
+    read_data: np.ndarray      #: int64, flat read datum ids
+    read_version: np.ndarray   #: int64, flat read versions
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.kind)
+
+
+class _TaskSeq(Sequence):
+    """Sequence view over a graph that materializes :class:`Task`
+    dataclasses on demand — the legacy ``graph.tasks`` API."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "TaskGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [self._graph.task(t) for t in range(*idx.indices(len(self)))]
+        n = len(self)
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError(idx)
+        return self._graph.task(idx)
+
+    def __iter__(self) -> Iterator[Task]:
+        g = self._graph
+        for tid in range(len(g)):
+            yield g.task(tid)
+
+    def __repr__(self) -> str:
+        return f"<task view of {len(self)} tasks>"
+
+
+class _ProducerMap:
+    """Read-only mapping ``(data, version) -> producer tid`` backed by
+    the write columns; built lazily, invalidated on append."""
+
+    __slots__ = ("_graph", "_dict", "_gen")
+
+    def __init__(self, graph: "TaskGraph"):
+        self._graph = graph
+        self._dict: Optional[Dict[DataRef, int]] = None
+        self._gen = -1
+
+    def _mapping(self) -> Dict[DataRef, int]:
+        g = self._graph
+        if self._dict is None or self._gen != g._gen:
+            cols = g.columns
+            self._dict = {
+                (int(d), int(v)): tid
+                for tid, (d, v) in enumerate(zip(cols.write_data.tolist(),
+                                                 cols.write_version.tolist()))
+            }
+            self._gen = g._gen
+        return self._dict
+
+    def get(self, ref, default=None):
+        return self._mapping().get(ref, default)
+
+    def __getitem__(self, ref):
+        return self._mapping()[ref]
+
+    def __contains__(self, ref) -> bool:
+        return ref in self._mapping()
+
+    def __len__(self) -> int:
+        return len(self._mapping())
+
+    def __iter__(self):
+        return iter(self._mapping())
+
+    def items(self):
+        return self._mapping().items()
+
+    def keys(self):
+        return self._mapping().keys()
+
+    def values(self):
+        return self._mapping().values()
+
+
 class TaskGraph:
-    """An append-only DAG of tile tasks with version-based dependencies."""
+    """An append-only DAG of tile tasks with version-based dependencies,
+    stored as columns (see module docstring)."""
 
     def __init__(self, n_data: int, nnodes: int):
         self.n_data = n_data
         self.nnodes = nnodes
-        self.tasks: List[Task] = []
-        #: producer task id of each written (data, version)
-        self.producer: Dict[DataRef, int] = {}
         #: current version of each datum
-        self._version: List[int] = [0] * n_data
-        self.total_flops = 0.0
+        self._version = np.zeros(n_data, dtype=np.int64)
+        #: finalized column chunks (dicts of arrays), in append order
+        self._chunks: List[dict] = []
+        #: scalar staging buffers filled by :meth:`submit`
+        self._stage: dict = self._empty_stage()
+        self._n = 0
+        self._total_flops = 0.0
+        self._gen = 0            #: bumped on every append (cache invalidation)
+        self._cols: Optional[GraphColumns] = None
+        self._cols_gen = -1
+        self._derived: dict = {}
+        self._producer_view = _ProducerMap(self)
 
+    @staticmethod
+    def _empty_stage() -> dict:
+        return {"kind": [], "i": [], "j": [], "k": [], "node": [], "flops": [],
+                "wd": [], "wv": [], "rc": [], "rd": [], "rv": []}
+
+    # ------------------------------------------------------------------
+    # building
     # ------------------------------------------------------------------
     def version(self, data: int) -> int:
         """Latest version of ``data``."""
-        return self._version[data]
+        return int(self._version[data])
 
     def current(self, data: int) -> DataRef:
         """Latest (data, version) reference for ``data``."""
-        return (data, self._version[data])
+        return (data, int(self._version[data]))
 
     def submit(
         self,
@@ -90,90 +238,386 @@ class TaskGraph:
         reads: Tuple[DataRef, ...],
         write_data: int,
     ) -> Task:
-        """Append a task that bumps ``write_data`` to a new version.
+        """Append one task that bumps ``write_data`` to a new version.
 
         ``reads`` must already include the previous version of
         ``write_data`` when the kernel updates it in place (all
-        factorization kernels do).
+        factorization kernels do).  This is the scalar path, kept for
+        tests and the small SYRK/GEMM builders; the factorization
+        builders use :meth:`append_batch`.
         """
-        new_version = self._version[write_data] + 1
-        task = Task(
-            tid=len(self.tasks),
-            kind=kind,
-            i=i,
-            j=j,
-            k=k,
-            node=node,
-            flops=flops,
-            reads=reads,
-            write=(write_data, new_version),
-        )
-        self.tasks.append(task)
+        new_version = int(self._version[write_data]) + 1
+        tid = self._n
+        st = self._stage
+        st["kind"].append(int(kind))
+        st["i"].append(i)
+        st["j"].append(j)
+        st["k"].append(k)
+        st["node"].append(node)
+        st["flops"].append(flops)
+        st["wd"].append(write_data)
+        st["wv"].append(new_version)
+        st["rc"].append(len(reads))
+        for d, v in reads:
+            st["rd"].append(d)
+            st["rv"].append(v)
         self._version[write_data] = new_version
-        self.producer[(write_data, new_version)] = task.tid
-        self.total_flops += flops
-        return task
+        self._total_flops = self._total_flops + flops
+        self._n += 1
+        self._gen += 1
+        return Task(tid=tid, kind=TaskKind(kind), i=i, j=j, k=k, node=node,
+                    flops=flops, reads=tuple(reads),
+                    write=(write_data, new_version))
+
+    def append_batch(
+        self,
+        kind,
+        i,
+        j,
+        k,
+        node,
+        flops,
+        read_data,
+        read_version,
+        read_counts,
+        write_data,
+    ) -> None:
+        """Append a whole batch of tasks as arrays (the vectorized path).
+
+        ``write_data`` fixes the batch size; ``kind``, ``k`` and
+        ``flops`` may be scalars (broadcast) or per-task arrays.  Reads
+        are given flat: ``read_counts[t]`` entries of ``read_data`` /
+        ``read_version`` belong to batch task ``t``, in tuple order.
+        Write versions are derived exactly as :meth:`submit` does —
+        each written datum is bumped by one — which requires the batch
+        to write each datum at most once.
+        """
+        self._flush_stage()
+        wd = np.ascontiguousarray(write_data, dtype=np.int64).ravel()
+        B = wd.size
+        if B == 0:
+            return
+
+        def col(x, dtype):
+            a = np.asarray(x, dtype=dtype)
+            if a.ndim == 0:
+                return np.full(B, a, dtype=dtype)
+            return np.ascontiguousarray(a.ravel(), dtype=dtype)
+
+        rc = np.ascontiguousarray(read_counts, dtype=np.int64).ravel()
+        rd = np.ascontiguousarray(read_data, dtype=np.int64).ravel()
+        rv = np.ascontiguousarray(read_version, dtype=np.int64).ravel()
+        if rc.size != B:
+            raise ValueError(f"read_counts has {rc.size} entries for {B} tasks")
+        if int(rc.sum()) != rd.size or rd.size != rv.size:
+            raise ValueError("flat read columns do not match read_counts")
+        if B > 1 and np.unique(wd).size != B:
+            raise ValueError("append_batch writes a datum twice in one batch")
+        flops_col = col(flops, np.float64)
+        wv = self._version[wd] + 1
+        chunk = {
+            "kind": col(kind, np.int8),
+            "i": col(i, np.int64),
+            "j": col(j, np.int64),
+            "k": col(k, np.int64),
+            "node": col(node, np.int64),
+            "flops": flops_col,
+            "wd": wd,
+            "wv": wv,
+            "rc": rc,
+            "rd": rd,
+            "rv": rv,
+        }
+        self._chunks.append(chunk)
+        self._version[wd] = wv
+        # exact legacy semantics: total_flops is the *sequential* sum in
+        # submission order (cumsum chains left-to-right, unlike np.sum's
+        # pairwise reduction), so golden traces stay byte-identical.
+        self._total_flops = float(
+            np.cumsum(np.concatenate(([self._total_flops], flops_col)))[-1])
+        self._n += B
+        self._gen += 1
+
+    @property
+    def total_flops(self) -> float:
+        return self._total_flops
 
     # ------------------------------------------------------------------
+    # finalization and derived indexes
+    # ------------------------------------------------------------------
+    def _flush_stage(self) -> None:
+        st = self._stage
+        if not st["kind"]:
+            return
+        self._chunks.append({
+            "kind": np.asarray(st["kind"], dtype=np.int8),
+            "i": np.asarray(st["i"], dtype=np.int64),
+            "j": np.asarray(st["j"], dtype=np.int64),
+            "k": np.asarray(st["k"], dtype=np.int64),
+            "node": np.asarray(st["node"], dtype=np.int64),
+            "flops": np.asarray(st["flops"], dtype=np.float64),
+            "wd": np.asarray(st["wd"], dtype=np.int64),
+            "wv": np.asarray(st["wv"], dtype=np.int64),
+            "rc": np.asarray(st["rc"], dtype=np.int64),
+            "rd": np.asarray(st["rd"], dtype=np.int64),
+            "rv": np.asarray(st["rv"], dtype=np.int64),
+        })
+        self._stage = self._empty_stage()
+
+    @property
+    def columns(self) -> GraphColumns:
+        """Finalize pending appends and return the column arrays.
+
+        The result is cached until the next append; derived indexes
+        hang off the same cache generation.
+        """
+        if self._cols is not None and self._cols_gen == self._gen:
+            return self._cols
+        self._flush_stage()
+        chunks = self._chunks
+        if len(chunks) == 1:
+            c = chunks[0]
+            cat = dict(c)
+        elif chunks:
+            cat = {key: np.concatenate([c[key] for c in chunks])
+                   for key in chunks[0]}
+        else:
+            cat = {key: np.zeros(0, dtype=np.int64)
+                   for key in ("i", "j", "k", "node", "wd", "wv", "rc", "rd", "rv")}
+            cat["kind"] = np.zeros(0, dtype=np.int8)
+            cat["flops"] = np.zeros(0, dtype=np.float64)
+        indptr = np.zeros(len(cat["kind"]) + 1, dtype=np.int64)
+        np.cumsum(cat["rc"], out=indptr[1:])
+        self._cols = GraphColumns(
+            kind=cat["kind"], i=cat["i"], j=cat["j"], k=cat["k"],
+            node=cat["node"], flops=cat["flops"],
+            write_data=cat["wd"], write_version=cat["wv"],
+            read_indptr=indptr, read_data=cat["rd"], read_version=cat["rv"])
+        self._cols_gen = self._gen
+        self._derived = {}
+        # keep a single concatenated chunk so later appends re-concatenate
+        # against one array instead of many
+        if len(chunks) > 1:
+            self._chunks = [cat]
+        return self._cols
+
+    def _index(self, name: str):
+        """Memoized derived index, recomputed when the graph grows."""
+        self.columns  # refresh generation / clear stale cache
+        val = self._derived.get(name)
+        if val is None:
+            val = getattr(self, "_compute_" + name)()
+            self._derived[name] = val
+        return val
+
+    def _compute_writer_index(self):
+        """Stable grouping of writes by datum: (order, start, count).
+
+        ``order`` lists task ids sorted by written datum (submission
+        order within a datum, so position ``v-1`` in a group is the
+        producer of version ``v`` — versions are dense by construction).
+        """
+        cols = self._cols
+        order = np.argsort(cols.write_data, kind="stable")
+        count = np.bincount(cols.write_data, minlength=self.n_data)
+        start = np.zeros(self.n_data + 1, dtype=np.int64)
+        np.cumsum(count, out=start[1:])
+        return order, start, count
+
+    def _compute_first_writer(self):
+        """Per-datum tid of the first writer, -1 for never-written data.
+
+        One vectorized pass over the write column — this is the
+        precomputed index that replaces the per-version task scans the
+        old ``message_count`` performed.
+        """
+        cols = self._cols
+        fw = np.full(self.n_data, -1, dtype=np.int64)
+        tids = np.arange(len(cols.write_data), dtype=np.int64)
+        # reversed assignment: the first (lowest-tid) write wins
+        fw[cols.write_data[::-1]] = tids[::-1]
+        return fw
+
+    @property
+    def first_writer(self) -> np.ndarray:
+        """``first_writer[d]`` = tid of the first task writing datum
+        ``d``, or -1 (the precomputed first-writer / data-home index)."""
+        return self._index("first_writer")
+
+    def _compute_read_task(self):
+        cols = self._cols
+        counts = np.diff(cols.read_indptr)
+        return np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+
+    @property
+    def read_task(self) -> np.ndarray:
+        """Consumer task id of every flat read entry."""
+        return self._index("read_task")
+
+    def producer_for(self, data: np.ndarray, version: np.ndarray) -> np.ndarray:
+        """Vectorized producer lookup: tid of the task writing each
+        ``(data, version)``, or -1 (version 0 / never produced)."""
+        order, start, count = self._index("writer_index")
+        data = np.asarray(data, dtype=np.int64)
+        version = np.asarray(version, dtype=np.int64)
+        valid = (version >= 1) & (version <= count[data])
+        idx = np.where(valid, start[data] + version - 1, 0)
+        return np.where(valid, order[idx], -1)
+
+    def _compute_read_producer(self):
+        cols = self._cols
+        return self.producer_for(cols.read_data, cols.read_version)
+
+    @property
+    def read_producer(self) -> np.ndarray:
+        """Producer tid of every flat read entry (-1 for version 0)."""
+        return self._index("read_producer")
+
+    def _compute_dependencies_csr(self):
+        cols = self._cols
+        rp = self.read_producer
+        has = rp >= 0
+        dep_flat = rp[has]
+        counts = np.bincount(self.read_task[has], minlength=len(cols.kind))
+        indptr = np.zeros(len(cols.kind) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, dep_flat
+
+    def dependencies_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR dependency table ``(indptr, dep_tids)``: the producers of
+        task ``t``'s reads are ``dep_tids[indptr[t]:indptr[t+1]]``, in
+        read order (version-0 reads contribute no entry)."""
+        return self._index("dependencies_csr")
+
+    # ------------------------------------------------------------------
+    # legacy object API (views over the columns)
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> _TaskSeq:
+        """Sequence view materializing legacy :class:`Task` objects."""
+        return _TaskSeq(self)
+
+    @property
+    def producer(self) -> _ProducerMap:
+        """Mapping view: produced ``(data, version)`` -> producer tid."""
+        return self._producer_view
+
+    def task(self, tid: int) -> Task:
+        """Materialize one task row as a frozen :class:`Task`."""
+        cols = self.columns
+        s, e = int(cols.read_indptr[tid]), int(cols.read_indptr[tid + 1])
+        reads = tuple(zip(cols.read_data[s:e].tolist(),
+                          cols.read_version[s:e].tolist()))
+        return Task(
+            tid=tid,
+            kind=TaskKind(int(cols.kind[tid])),
+            i=int(cols.i[tid]),
+            j=int(cols.j[tid]),
+            k=int(cols.k[tid]),
+            node=int(cols.node[tid]),
+            flops=float(cols.flops[tid]),
+            reads=reads,
+            write=(int(cols.write_data[tid]), int(cols.write_version[tid])),
+        )
+
+    def task_label(self, tid: int) -> str:
+        """Compact trace label, identical to ``repr(graph.tasks[tid])``
+        but built straight from the columns."""
+        cols = self.columns
+        return (f"{KIND_NAMES[cols.kind[tid]]}({cols.i[tid]},{cols.j[tid]};"
+                f"k={cols.k[tid]})@{cols.node[tid]}")
+
     def __len__(self) -> int:
-        return len(self.tasks)
+        return self._n
 
     def __iter__(self) -> Iterator[Task]:
         return iter(self.tasks)
 
-    def dependencies(self, task: Task) -> List[int]:
+    def dependencies(self, task: Union[Task, int]) -> List[int]:
         """Task ids this task waits for (producers of its read versions)."""
-        deps = []
-        for ref in task.reads:
-            tid = self.producer.get(ref)
-            if tid is not None:
-                deps.append(tid)
-        return deps
+        tid = task.tid if isinstance(task, Task) else int(task)
+        indptr, dep_flat = self.dependencies_csr()
+        return dep_flat[indptr[tid]:indptr[tid + 1]].tolist()
+
+    # ------------------------------------------------------------------
+    # graph-level queries (vectorized)
+    # ------------------------------------------------------------------
+    def _consumer_codes(self) -> Tuple[np.ndarray, int, int]:
+        """Encode every read as one integer ``((data·M)+version)·Pn +
+        consumer_node`` for unique/grouping passes."""
+        cols = self.columns
+        M = int(cols.read_version.max()) + 1 if cols.read_version.size else 1
+        nodes = cols.node[self.read_task]
+        Pn = max(self.nnodes, int(cols.node.max()) + 1 if cols.node.size else 1)
+        codes = (cols.read_data * M + cols.read_version) * Pn + nodes
+        return codes, M, Pn
 
     def consumers_by_version(self) -> Dict[DataRef, set]:
         """For each data version, the set of *nodes* that read it."""
+        cols = self.columns
+        if not cols.read_data.size:
+            return {}
+        codes, M, Pn = self._consumer_codes()
+        uniq = np.unique(codes)
+        node = (uniq % Pn).tolist()
+        ref = uniq // Pn
+        data = (ref // M).tolist()
+        ver = (ref % M).tolist()
         out: Dict[DataRef, set] = {}
-        for task in self.tasks:
-            for ref in task.reads:
-                out.setdefault(ref, set()).add(task.node)
+        for d, v, n in zip(data, ver, node):
+            out.setdefault((d, v), set()).add(n)
         return out
 
     def message_count(self) -> int:
         """Number of inter-node messages the graph induces: one per
         (data version, remote consumer node) pair — StarPU caches a
-        received version and never re-fetches it."""
-        total = 0
-        for ref, nodes in self.consumers_by_version().items():
-            producer_tid = self.producer.get(ref)
-            if producer_tid is None:
-                # initial version: resident on the owner == writer of v1,
-                # read only by local tasks (owner-computes); any remote
-                # reader would require an initial transfer.
-                home: Optional[int] = None
-                for t in self.tasks:
-                    if t.write[0] == ref[0]:
-                        home = t.node
-                        break
-                if home is None:
-                    continue
-                total += sum(1 for n in nodes if n != home)
-            else:
-                home = self.tasks[producer_tid].node
-                total += sum(1 for n in nodes if n != home)
-        return total
+        received version and never re-fetches it.
+
+        Fully vectorized: unique (version, consumer-node) pairs come
+        from one grouping pass over the read columns, and version-0
+        homes from the precomputed :attr:`first_writer` index — the old
+        implementation rescanned every task per untracked version.
+        """
+        cols = self.columns
+        if not cols.read_data.size:
+            return 0
+        codes, M, Pn = self._consumer_codes()
+        uniq = np.unique(codes)
+        con_node = uniq % Pn
+        ref = uniq // Pn
+        data = ref // M
+        ver = ref % M
+        prod = self.producer_for(data, ver)
+        fw = self.first_writer
+        fw_node = np.where(fw >= 0, cols.node[np.where(fw >= 0, fw, 0)], -1)
+        home = np.where(prod >= 0, cols.node[np.where(prod >= 0, prod, 0)],
+                        fw_node[data])
+        return int(np.count_nonzero((home >= 0) & (con_node != home)))
 
     def validate(self) -> None:
         """Structural sanity: versions are dense, producers exist,
         every read refers to a version that exists when the task runs."""
-        seen: Dict[int, int] = {}
-        for task in self.tasks:
-            d, v = task.write
-            expected = seen.get(d, 0) + 1
-            if v != expected:
-                raise ValueError(f"task {task}: writes version {v}, expected {expected}")
-            for rd, rv in task.reads:
-                if rv > seen.get(rd, 0):
-                    raise ValueError(
-                        f"task {task}: reads ({rd},{rv}) before it is produced"
-                    )
-            seen[d] = v
+        cols = self.columns
+        order, start, count = self._index("writer_index")
+        # dense versions: within each datum group (submission order),
+        # the written versions must be 1, 2, 3, ...
+        expected = np.arange(len(order), dtype=np.int64) - start[cols.write_data[order]] + 1
+        wrong = cols.write_version[order] != expected
+        if np.any(wrong):
+            bad = order[wrong]
+            tid = int(bad.min())
+            pos = int(np.flatnonzero(order == tid)[0])
+            raise ValueError(
+                f"task {self.task(tid)}: writes version "
+                f"{int(cols.write_version[tid])}, expected {int(expected[pos])}")
+        # reads: version 0 always exists; version v > 0 must have a
+        # producer that was submitted strictly earlier
+        rp = self.read_producer
+        rt = self.read_task
+        bad_read = (cols.read_version > 0) & ((rp < 0) | (rp >= rt))
+        if np.any(bad_read):
+            idx = int(np.flatnonzero(bad_read)[0])
+            tid = int(rt[idx])
+            raise ValueError(
+                f"task {self.task(tid)}: reads ({int(cols.read_data[idx])},"
+                f"{int(cols.read_version[idx])}) before it is produced")

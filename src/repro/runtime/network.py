@@ -181,28 +181,46 @@ class NicModel(NetworkModel):
     name = "nic"
 
     def _bind(self) -> None:
+        # hot-path state lives in plain Python lists and cached scalars:
+        # the per-send arithmetic below runs a couple of hundred
+        # thousand times per large simulation, and scalar indexing of
+        # NumPy arrays is several times slower than list indexing.  The
+        # float arithmetic is IEEE-identical either way (Python floats
+        # are float64), so traces do not change; :meth:`stats` converts
+        # back to arrays.
+        P = self.cluster.nnodes
         self.msg_time = self.cluster.message_time()
-        self.tx_free = np.zeros(self.cluster.nnodes)
-        self.rx_free = np.zeros(self.cluster.nnodes)
+        self._nbytes = self.cluster.tile_bytes
+        self._rx_ser = self.cluster.rx_serialization
+        self.tx_free = [0.0] * P
+        self.rx_free = [0.0] * P
+        self.msgs_sent = [0] * P
+        self.msgs_recv = [0] * P
+        self.bytes_sent = [0.0] * P
+        self.bytes_recv = [0.0] * P
+        self.tx_busy = [0.0] * P
+        self.rx_busy = [0.0] * P
 
     def send(self, ref: DataRef, src: int, dst: int, t: float) -> None:
+        mt = self.msg_time
         start = max(t, self.tx_free[src])
-        if self.cluster.rx_serialization:
+        if self._rx_ser:
             wire_start = max(start, self.rx_free[dst])
         else:
             wire_start = start
-        arrival = wire_start + self.msg_time
-        self.tx_free[src] = start + self.msg_time
+        arrival = wire_start + mt
+        self.tx_free[src] = start + mt
         self.rx_free[dst] = arrival
-        nbytes = self.cluster.tile_bytes
+        nbytes = self._nbytes
         self.n_messages += 1
         self.msgs_sent[src] += 1
         self.msgs_recv[dst] += 1
         self.bytes_sent[src] += nbytes
         self.bytes_recv[dst] += nbytes
-        self.tx_busy[src] += self.msg_time
-        self.rx_busy[dst] += self.msg_time
-        self._record(ref, src, dst, float(start), float(arrival), nbytes)
+        self.tx_busy[src] += mt
+        self.rx_busy[dst] += mt
+        if self.msg_records is not None:
+            self._record(ref, src, dst, start, arrival, nbytes)
         self._push(arrival, EVENT_MSG_ARRIVE, (ref, dst))
 
     def multicast(self, src: int, dests, t: float) -> None:
@@ -222,7 +240,7 @@ class NicModel(NetworkModel):
         start = max(t, self.tx_free[src])
         self.tx_free[src] = start + self.msg_time
         self.tx_busy[src] += self.msg_time
-        nbytes = self.cluster.tile_bytes
+        nbytes = self._nbytes
         for i, (ref, dst) in enumerate(dests):
             rounds = (i + 1).bit_length()  # == ceil(log2(i + 2))
             arrival = start + rounds * self.msg_time
@@ -235,6 +253,17 @@ class NicModel(NetworkModel):
             self.rx_busy[dst] += self.msg_time
             self._record(ref, src, dst, float(start), float(arrival), nbytes)
             self._push(arrival, EVENT_MSG_ARRIVE, (ref, dst))
+
+    def stats(self) -> NetworkStats:
+        return NetworkStats(
+            model=self.name,
+            msgs_sent=np.asarray(self.msgs_sent, dtype=np.int64),
+            msgs_recv=np.asarray(self.msgs_recv, dtype=np.int64),
+            bytes_sent=np.asarray(self.bytes_sent, dtype=np.float64),
+            bytes_recv=np.asarray(self.bytes_recv, dtype=np.float64),
+            tx_busy=np.asarray(self.tx_busy, dtype=np.float64),
+            rx_busy=np.asarray(self.rx_busy, dtype=np.float64),
+        )
 
 
 class _Flow:

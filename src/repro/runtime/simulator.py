@@ -20,6 +20,18 @@ Models the Chameleon/StarPU execution of Section II-C:
   like the runtime-based execution the paper credits for beating
   fork-join MPI codes.
 
+The simulator consumes the columnar task-graph arrays directly: the
+dependency-countdown tables (per-task pending counts, a CSR table of
+local dependents, the message plan) are derived in a handful of
+vectorized passes over the flat read columns instead of a Python loop
+over task objects, and the event loop itself runs on plain-list copies
+of the columns (tids, nodes, iteration indexes, precomputed durations
+and priority keys) — no ``Task`` dataclass is materialized anywhere on
+the hot path.  The event schedule, and therefore every trace, is
+bit-for-bit identical to the object-based implementation: the
+vectorized passes reproduce the exact task-submission scan order the
+old per-task loop produced, and the golden-trace tests pin this.
+
 The simulator is deterministic for a given graph, cluster and network
 model.  With ``record_tasks=True`` the returned trace also carries
 per-message records and a :class:`~repro.runtime.network.NetworkStats`
@@ -34,7 +46,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from .cluster import ClusterSpec
-from .graph import DataRef, TaskGraph
+from .graph import TaskGraph
 from .network import (
     EVENT_MSG_ARRIVE,
     EVENT_NET_INTERNAL,
@@ -86,8 +98,7 @@ def simulate(
         :class:`~repro.runtime.network.NetworkModel` instance.
     """
     model = make_network(network)
-    tasks = graph.tasks
-    n_tasks = len(tasks)
+    n_tasks = len(graph)
     if n_tasks == 0:
         zeros_f = np.zeros(cluster.nnodes)
         zeros_i = np.zeros(cluster.nnodes, dtype=np.int64)
@@ -97,80 +108,159 @@ def simulate(
             busy_time=zeros_f, sent_messages=zeros_i,
             network=model.name, recv_messages=zeros_i.copy(),
         )
-    max_node = max(t.node for t in tasks)
+    cols = graph.columns
+    node_a = cols.node
+    max_node = int(node_a.max())
     if max_node >= cluster.nnodes:
         raise SimulationError(
             f"graph uses node {max_node} but cluster has {cluster.nnodes} nodes"
         )
 
     # ------------------------------------------------------------------
-    # Preprocessing: prerequisites, message plan
+    # Preprocessing: prerequisites and message plan, from the columns
     # ------------------------------------------------------------------
-    pending = np.zeros(n_tasks, dtype=np.int64)
-    local_dependents: List[List[int]] = [[] for _ in range(n_tasks)]
-    msg_waiters: Dict[Tuple[DataRef, int], List[int]] = {}
+    # Classify every flat read entry.  The scan order of the flat read
+    # columns (task id major, tuple order minor) is exactly the order
+    # the old per-task loop visited reads in, so first-occurrence and
+    # within-group orders below match it entry for entry.
+    rt = graph.read_task          # consumer tid per read
+    rp = graph.read_producer      # producer tid per read, -1 if none
+    rd = cols.read_data
+    rv = cols.read_version
+    rnode = node_a[rt]            # consumer node per read
+
+    has_prod = rp >= 0
+    pnode = node_a[np.where(has_prod, rp, 0)]
+    is_local = has_prod & (pnode == rnode)
+    is_remote = has_prod & ~is_local
+    if data_home is None:
+        # version-0 data assumed resident where read (owner-computes)
+        is_init = np.zeros(rd.shape, dtype=bool)
+        home_a = None
+    else:
+        home_a = np.asarray(data_home, dtype=np.int64)
+        is_init = ~has_prod & (home_a[rd] != rnode)
+
+    # one prerequisite per satisfied-later read
+    pending = np.bincount(rt[is_local | is_remote | is_init],
+                          minlength=n_tasks)
+
+    # local dependents as CSR: consumers of each producer's output that
+    # run on the producer's node, in read-scan order within a producer
+    lp = rp[is_local]
+    lorder = np.argsort(lp, kind="stable")
+    ld_counts = np.bincount(lp, minlength=n_tasks) if lp.size else \
+        np.zeros(n_tasks, dtype=np.int64)
+    ld_indptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(ld_counts, out=ld_indptr[1:])
+    ld_tasks = rt[is_local][lorder].tolist()
+    ld_indptr = ld_indptr.tolist()
+
+    # message plan: one message per unique (ref, dst); integer-encode
+    # (data, version, dst) for the grouping passes.  The ``ref`` handed
+    # to the network model is normally the opaque integer ``data·M +
+    # version`` — models pass it through untouched and the waiter table
+    # is keyed by ``ref·Pn + dst``, one int hash instead of a nested
+    # tuple hash per delivery.  When per-message records are requested
+    # the legacy ``(data, version)`` tuples are used instead, since
+    # they end up in ``MsgRecord``s; the event schedule is identical
+    # either way.
+    M = int(rv.max()) + 1 if rv.size else 1
+    Pn = cluster.nnodes
+    use_codes = not record_tasks
+
+    msg_waiters: Dict = {}
+
+    def group_messages(mask: np.ndarray):
+        """Unique messages of the masked reads: decoded python-int
+        columns in code order, first-occurrence positions, and waiter
+        lists (appended to ``msg_waiters``) in read-scan order."""
+        codes = (rd[mask] * M + rv[mask]) * Pn + rnode[mask]
+        uniq, first, inv = np.unique(codes, return_index=True,
+                                     return_inverse=True)
+        dst_l = (uniq % Pn).tolist()
+        refc = uniq // Pn
+        if use_codes:
+            ref_l = refc.tolist()
+            key_l = uniq.tolist()
+        else:
+            ref_l = list(zip((refc // M).tolist(), (refc % M).tolist()))
+            key_l = list(zip(ref_l, dst_l))
+        waiters = rt[mask][np.argsort(inv, kind="stable")].tolist()
+        counts = np.bincount(inv, minlength=len(uniq)).tolist()
+        off = 0
+        for u, c in enumerate(counts):
+            msg_waiters[key_l[u]] = waiters[off:off + c]
+            off += c
+        return ref_l, dst_l, first, refc // M
+
     # messages to push when a producer completes: producer tid -> [(ref, dst)]
-    push_plan: Dict[int, List[Tuple[DataRef, int]]] = {}
+    push_plan: Dict[int, List[tuple]] = {}
+    if np.any(is_remote):
+        ref_l, dst_l, first, _ = group_messages(is_remote)
+        prod_l = rp[is_remote][first].tolist()
+        # first-occurrence scan order, exactly the old planned_msgs order
+        for u in np.argsort(first).tolist():
+            push_plan.setdefault(prod_l[u], []).append((ref_l[u], dst_l[u]))
+
     # messages needed at t=0 (remote version-0 reads): [(ref, src, dst)]
-    initial_msgs: List[Tuple[DataRef, int, int]] = []
-    planned_msgs: set = set()
+    initial_msgs: List[tuple] = []
+    if np.any(is_init):
+        ref_l, dst_l, first, d_arr = group_messages(is_init)
+        homes = home_a[d_arr].tolist()
+        for u in np.argsort(first).tolist():
+            initial_msgs.append((ref_l[u], homes[u], dst_l[u]))
 
-    for t in tasks:
-        n = t.node
-        for ref in t.reads:
-            ptid = graph.producer.get(ref)
-            if ptid is not None:
-                if tasks[ptid].node == n:
-                    pending[t.tid] += 1
-                    local_dependents[ptid].append(t.tid)
-                else:
-                    pending[t.tid] += 1
-                    msg_waiters.setdefault((ref, n), []).append(t.tid)
-                    if (ref, n) not in planned_msgs:
-                        planned_msgs.add((ref, n))
-                        push_plan.setdefault(ptid, []).append((ref, n))
-            else:
-                # version-0 datum: resident at its home node
-                if data_home is None:
-                    home = n  # assume local (owner-computes invariant)
-                else:
-                    home = int(data_home[ref[0]])
-                if home != n:
-                    pending[t.tid] += 1
-                    msg_waiters.setdefault((ref, n), []).append(t.tid)
-                    if (ref, n) not in planned_msgs:
-                        planned_msgs.add((ref, n))
-                        initial_msgs.append((ref, home, n))
+    # dense per-task view of the push plan (faster than dict.get on the
+    # hot path)
+    push_plan_l: List[Optional[list]] = [None] * n_tasks
+    for ptid, dests in push_plan.items():
+        push_plan_l[ptid] = dests
 
     # ------------------------------------------------------------------
-    # State
+    # Hot-path state: plain-list copies of the columns
     # ------------------------------------------------------------------
-    idle = np.full(cluster.nnodes, cluster.cores_per_node, dtype=np.int64)
+    node_l = node_a.tolist()
+    k_l = cols.k.tolist()
+    pending_l = pending.tolist()
+    # per-task durations, elementwise-identical to cluster.task_time
+    dur_a = cols.flops / cluster.core_flops
+    if cluster.node_speeds:
+        dur_a = dur_a / np.asarray(cluster.node_speeds, dtype=np.float64)[node_a]
+    dur_l = dur_a.tolist()
+    # priority keys mimic StarPU's critical-path-friendly ordering
+    # (earlier iteration, then panel kernels first), packed as single
+    # ints ``k << 40 | kind << 32 | tid`` whose numeric order equals the
+    # lexicographic order of the ``(k, kind, tid)`` tuple — int
+    # comparisons keep the ready-heap sifts cheap
+    keys_l = ((cols.k << 40) | (cols.kind.astype(np.int64) << 32)
+              | np.arange(n_tasks, dtype=np.int64)).tolist()
+
+    idle = [cluster.cores_per_node] * cluster.nnodes
     ready: List[List[tuple]] = [[] for _ in range(cluster.nnodes)]
-    busy = np.zeros(cluster.nnodes)
-    done = np.zeros(n_tasks, dtype=bool)
+    busy = [0.0] * cluster.nnodes
     completion = np.zeros(n_tasks) if record_tasks else None
     records: Optional[List[TaskRecord]] = [] if record_tasks else None
 
+    # events are ``(time, tag, payload)`` with ``tag = seq + etype``,
+    # where ``seq`` advances in steps of 4 so that the low two bits hold
+    # the event type and ``tag`` stays strictly increasing — ties on
+    # ``time`` break by push order exactly as a separate seq field would
     events: List[tuple] = []
     seq = 0
+    heappush = heapq.heappush
+    heappop = heapq.heappop
 
     def push_event(time: float, etype: int, payload) -> None:
         nonlocal seq
-        seq += 1
-        heapq.heappush(events, (time, seq, etype, payload))
+        seq += 4
+        heappush(events, (time, seq + etype, payload))
 
     model.bind(cluster, push_event, record=record_tasks)
 
-    def start_task(tid: int, t: float) -> None:
-        task = tasks[tid]
-        dur = cluster.task_time(task.flops, task.node)
-        busy[task.node] += dur
-        push_event(t + dur, _TASK_DONE, tid)
-        if records is not None:
-            records.append(TaskRecord(tid=tid, node=task.node, start=t, end=t + dur))
-
     policy = cluster.scheduler
+    prio = policy == "priority"
+    fifo = policy == "fifo"
     enqueue_seq = 0
 
     # fork-join mode: a global barrier between iterations (Section II-C's
@@ -178,125 +268,300 @@ def simulate(
     # of iteration k; data-ready tasks of a future iteration wait in
     # deferred[k] until the gate advances past k.
     fj = cluster.fork_join
-    remaining: Dict[int, int] = {}
     deferred: Dict[int, List[int]] = {}
     if fj:
-        for t in tasks:
-            remaining[t.k] = remaining.get(t.k, 0) + 1
-    iterations = sorted(remaining) if fj else []
+        uk, uc = np.unique(cols.k, return_counts=True)
+        remaining = dict(zip(uk.tolist(), uc.tolist()))
+        iterations = sorted(remaining)
+    else:
+        remaining = {}
+        iterations = []
     gate_idx = 0
-
-    def gate() -> int:
-        return iterations[gate_idx] if gate_idx < len(iterations) else (1 << 62)
+    gate_val = iterations[0] if iterations else (1 << 62)
 
     def enqueue(tid: int) -> int:
-        """Push a ready task onto its node's scheduling queue.
-
-        ``priority`` mimics StarPU's critical-path-friendly ordering
-        (earlier iteration, then panel kernels first); ``fifo``/``lifo``
-        are the naive baselines for the scheduler ablation.
-        """
+        """Push a ready task onto its node's scheduling queue
+        (``fifo``/``lifo`` are the naive scheduler-ablation baselines)."""
         nonlocal enqueue_seq
-        task = tasks[tid]
-        enqueue_seq += 1
-        if policy == "priority":
-            key = (task.k, int(task.kind), tid)
-        elif policy == "fifo":
-            key = (enqueue_seq, 0, tid)
-        else:  # lifo
-            key = (-enqueue_seq, 0, tid)
-        heapq.heappush(ready[task.node], key)
-        return task.node
+        n = node_l[tid]
+        if prio:
+            key = keys_l[tid]
+        else:
+            # same int packing: seq (negated for lifo) above the tid bits
+            enqueue_seq += 1
+            key = ((enqueue_seq << 32) | tid if fifo
+                   else (((1 << 62) - enqueue_seq) << 32) | tid)
+        heappush(ready[n], key)
+        return n
 
-    def make_ready(tid: int) -> Optional[int]:
-        """Route a data-ready task: defer it behind the iteration gate
-        in fork-join mode, enqueue it otherwise."""
-        if fj and tasks[tid].k > gate():
-            deferred.setdefault(tasks[tid].k, []).append(tid)
-            return None
-        return enqueue(tid)
+    def dispatch(n: int, t: float, ready=ready, idle=idle, busy=busy,
+                 dur_l=dur_l, events=events, heappop=heappop,
+                 heappush=heappush) -> None:
+        """Start queued tasks (best priority first) on idle workers.
 
-    def dispatch(n: int, t: float) -> None:
-        """Start queued tasks (best priority first) on idle workers."""
-        while idle[n] > 0 and ready[n]:
-            _, _, tid = heapq.heappop(ready[n])
-            idle[n] -= 1
-            start_task(tid, t)
+        The default arguments bind the shared state as locals — this
+        and :func:`deliver` run once per message, and closure-cell loads
+        are measurably slower than local loads there.
+        """
+        nonlocal seq
+        rq = ready[n]
+        idl = idle[n]
+        while idl > 0 and rq:
+            tid = heappop(rq) & 0xFFFFFFFF
+            idl -= 1
+            dur = dur_l[tid]
+            busy[n] += dur
+            seq += 4
+            heappush(events, (t + dur, seq, tid))
+            if records is not None:
+                records.append(TaskRecord(tid=tid, node=n, start=t, end=t + dur))
+        idle[n] = idl
 
-    def deliver(ref: DataRef, dst: int, t: float) -> None:
-        """A message arrived: wake its waiting consumers."""
-        woken = set()
-        for dep in msg_waiters.get((ref, dst), ()):
-            pending[dep] -= 1
-            if pending[dep] == 0:
-                n = make_ready(dep)
-                if n is not None:
-                    woken.add(n)
-        for n in woken:
-            dispatch(n, t)
+    fast = not fj and prio
+    # fully specialized hot path: priority scheduler, no fork-join gate,
+    # no task recording (``use_codes`` implies records/completion are None)
+    ffast = fast and use_codes
+
+    def deliver(ref, dst: int, t: float, msg_waiters=msg_waiters,
+                pending_l=pending_l, keys_l=keys_l, ready=ready,
+                heappush=heappush, fast=fast) -> None:
+        """A message arrived: wake its waiting consumers.
+
+        Every waiter of ``(ref, dst)`` reads on node ``dst``, so at
+        most that one node gains ready tasks."""
+        key = ref * Pn + dst if use_codes else (ref, dst)
+        any_ready = False
+        for dep in msg_waiters.get(key, ()):
+            p = pending_l[dep] - 1
+            pending_l[dep] = p
+            if p == 0:
+                if fast:
+                    heappush(ready[dst], keys_l[dep])
+                    any_ready = True
+                elif fj and k_l[dep] > gate_val:
+                    deferred.setdefault(k_l[dep], []).append(dep)
+                else:
+                    enqueue(dep)
+                    any_ready = True
+        if any_ready:
+            dispatch(dst, t)
 
     # seed: initial messages and dependency-free tasks
     for ref, src, dst in initial_msgs:
         model.send(ref, src, dst, 0.0)
     touched = set()
-    for t in tasks:
-        if pending[t.tid] == 0:
-            n = make_ready(t.tid)
-            if n is not None:
-                touched.add(n)
+    for tid in np.flatnonzero(pending == 0).tolist():
+        if fj and k_l[tid] > gate_val:
+            deferred.setdefault(k_l[tid], []).append(tid)
+        else:
+            touched.add(enqueue(tid))
     for n in touched:
         dispatch(n, 0.0)
 
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
+    # the TASK_DONE branch is the hot path: for the default
+    # configuration (no fork-join barrier, priority scheduler) enqueue
+    # and dispatch are fully inlined — at m=64 the function-call
+    # overhead alone is ~30% of the loop
     now = 0.0
     completed = 0
     while events:
-        now, _, etype, payload = heapq.heappop(events)
+        now, tag, payload = heappop(events)
+        etype = tag & 3
         if etype == _TASK_DONE:
             tid = payload
-            done[tid] = True
             completed += 1
-            task = tasks[tid]
+            tnode = node_l[tid]
+            # wake local dependents, then refill the freed worker.
+            # Local dependents always run on the producer's node (that
+            # is what makes them local), so completion wakes exactly one
+            # node — no set bookkeeping needed on the fast path.
+            if ffast:
+                dests = push_plan_l[tid]
+                if dests is not None:
+                    model.multicast(tnode, dests, now)
+                rq = ready[tnode]
+                s = ld_indptr[tid]
+                e = ld_indptr[tid + 1]
+                idl = idle[tnode] + 1
+                if s != e and not rq:
+                    # heap bypass: the queue is empty, so pushing the
+                    # newly-ready set and draining would hand it back in
+                    # sorted key order — start directly instead
+                    new = None
+                    for dep in ld_tasks[s:e]:
+                        p = pending_l[dep] - 1
+                        pending_l[dep] = p
+                        if p == 0:
+                            if new is None:
+                                new = [keys_l[dep]]
+                            else:
+                                new.append(keys_l[dep])
+                    if new is not None:
+                        if len(new) <= idl:
+                            if len(new) > 1:
+                                new.sort()
+                            for key in new:
+                                tid2 = key & 0xFFFFFFFF
+                                idl -= 1
+                                dur = dur_l[tid2]
+                                busy[tnode] += dur
+                                seq += 4
+                                heappush(events, (now + dur, seq, tid2))
+                        else:
+                            for key in new:
+                                heappush(rq, key)
+                            while idl > 0 and rq:
+                                tid2 = heappop(rq) & 0xFFFFFFFF
+                                idl -= 1
+                                dur = dur_l[tid2]
+                                busy[tnode] += dur
+                                seq += 4
+                                heappush(events, (now + dur, seq, tid2))
+                else:
+                    if s != e:
+                        for dep in ld_tasks[s:e]:
+                            p = pending_l[dep] - 1
+                            pending_l[dep] = p
+                            if p == 0:
+                                heappush(rq, keys_l[dep])
+                    while idl > 0 and rq:
+                        tid2 = heappop(rq) & 0xFFFFFFFF
+                        idl -= 1
+                        dur = dur_l[tid2]
+                        busy[tnode] += dur
+                        seq += 4
+                        heappush(events, (now + dur, seq, tid2))
+                idle[tnode] = idl
+                continue
             if completion is not None:
                 completion[tid] = now
             # push produced version to remote consumers
-            dests = push_plan.get(tid, ())
-            if dests:
-                model.multicast(task.node, dests, now)
-            # wake local dependents, then refill the freed worker
-            woken = {task.node}
-            for dep in local_dependents[tid]:
-                pending[dep] -= 1
-                if pending[dep] == 0:
-                    n = make_ready(dep)
-                    if n is not None:
-                        woken.add(n)
+            dests = push_plan_l[tid]
+            if dests is not None:
+                model.multicast(tnode, dests, now)
+            if fast:
+                rq = ready[tnode]
+                s = ld_indptr[tid]
+                e = ld_indptr[tid + 1]
+                if s != e:
+                    for dep in ld_tasks[s:e]:
+                        p = pending_l[dep] - 1
+                        pending_l[dep] = p
+                        if p == 0:
+                            heappush(rq, keys_l[dep])
+                idl = idle[tnode] + 1
+                while idl > 0 and rq:
+                    tid2 = heappop(rq) & 0xFFFFFFFF
+                    idl -= 1
+                    dur = dur_l[tid2]
+                    busy[tnode] += dur
+                    seq += 4
+                    heappush(events, (now + dur, seq, tid2))
+                    if records is not None:
+                        records.append(
+                            TaskRecord(tid=tid2, node=tnode, start=now,
+                                       end=now + dur))
+                idle[tnode] = idl
+                continue
+            woken = {tnode}
+            for dep in ld_tasks[ld_indptr[tid]:ld_indptr[tid + 1]]:
+                p = pending_l[dep] - 1
+                pending_l[dep] = p
+                if p == 0:
+                    if fj and k_l[dep] > gate_val:
+                        deferred.setdefault(k_l[dep], []).append(dep)
+                    else:
+                        woken.add(enqueue(dep))
             if fj:
-                remaining[task.k] -= 1
+                remaining[k_l[tid]] -= 1
                 while gate_idx < len(iterations) and remaining[iterations[gate_idx]] == 0:
                     gate_idx += 1
                     if gate_idx < len(iterations):
                         for tid2 in deferred.pop(iterations[gate_idx], ()):  # noqa: B007
                             woken.add(enqueue(tid2))
-            idle[task.node] += 1
+                gate_val = iterations[gate_idx] if gate_idx < len(iterations) else (1 << 62)
+            idle[tnode] += 1
             for n in woken:
                 dispatch(n, now)
         elif etype == _MSG_ARRIVE:
             ref, dst = payload
-            deliver(ref, dst, now)
+            if ffast:
+                # inlined deliver + dispatch for the default path
+                rq = ready[dst]
+                idl = idle[dst]
+                if not rq and idl > 0:
+                    # heap bypass (see TASK_DONE branch)
+                    new = None
+                    for dep in msg_waiters.get(ref * Pn + dst, ()):
+                        p = pending_l[dep] - 1
+                        pending_l[dep] = p
+                        if p == 0:
+                            if new is None:
+                                new = [keys_l[dep]]
+                            else:
+                                new.append(keys_l[dep])
+                    if new is not None:
+                        if len(new) <= idl:
+                            if len(new) > 1:
+                                new.sort()
+                            for key in new:
+                                tid2 = key & 0xFFFFFFFF
+                                idl -= 1
+                                dur = dur_l[tid2]
+                                busy[dst] += dur
+                                seq += 4
+                                heappush(events, (now + dur, seq, tid2))
+                        else:
+                            for key in new:
+                                heappush(rq, key)
+                            while idl > 0 and rq:
+                                tid2 = heappop(rq) & 0xFFFFFFFF
+                                idl -= 1
+                                dur = dur_l[tid2]
+                                busy[dst] += dur
+                                seq += 4
+                                heappush(events, (now + dur, seq, tid2))
+                        idle[dst] = idl
+                else:
+                    any_ready = False
+                    for dep in msg_waiters.get(ref * Pn + dst, ()):
+                        p = pending_l[dep] - 1
+                        pending_l[dep] = p
+                        if p == 0:
+                            heappush(rq, keys_l[dep])
+                            any_ready = True
+                    if any_ready and idl > 0:
+                        while idl > 0 and rq:
+                            tid2 = heappop(rq) & 0xFFFFFFFF
+                            idl -= 1
+                            dur = dur_l[tid2]
+                            busy[dst] += dur
+                            seq += 4
+                            heappush(events, (now + dur, seq, tid2))
+                        idle[dst] = idl
+            else:
+                deliver(ref, dst, now)
         else:  # network-internal event (contention-model flow bookkeeping)
             for ref, dst in model.on_internal(payload, now):
                 deliver(ref, dst, now)
 
     if completed != n_tasks:
-        stuck = int(np.sum(~done))
+        stuck = n_tasks - completed
+        # a stuck task still has unmet prerequisites (or, in fork-join
+        # mode, sits behind the iteration gate in ``deferred``)
+        first_stuck = next(
+            (t for t in range(n_tasks) if pending_l[t] > 0),
+            min((min(v) for v in deferred.values()), default=0),
+        )
         raise SimulationError(
             f"deadlock: {stuck} of {n_tasks} tasks never ran "
-            f"(first stuck: {tasks[int(np.flatnonzero(~done)[0])]})"
+            f"(first stuck: {graph.task(first_stuck)})"
         )
 
+    net_stats = model.stats()
     return ExecutionTrace(
         cluster=cluster,
         makespan=now,
@@ -304,12 +569,12 @@ def simulate(
         n_tasks=n_tasks,
         n_messages=model.n_messages,
         bytes_sent=float(model.n_messages) * cluster.tile_bytes,
-        busy_time=busy,
-        sent_messages=model.msgs_sent,
+        busy_time=np.asarray(busy, dtype=np.float64),
+        sent_messages=net_stats.msgs_sent,
         task_records=records,
         completion_times=completion,
         network=model.name,
-        recv_messages=model.msgs_recv,
-        net_stats=model.stats(),
+        recv_messages=net_stats.msgs_recv,
+        net_stats=net_stats,
         msg_records=model.msg_records,
     )

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .graph import TaskGraph, TaskKind
+from .graph import KIND_NAMES, TaskGraph
 from .trace import ExecutionTrace
 
 __all__ = [
@@ -71,9 +71,10 @@ def iteration_overlap(trace: ExecutionTrace, graph: TaskGraph) -> int:
     """
     if trace.task_records is None:
         raise ValueError("trace has no task records; simulate with record_tasks=True")
+    k_col = graph.columns.k
     events: List[Tuple[float, int, int]] = []
     for rec in trace.task_records:
-        k = graph.tasks[rec.tid].k
+        k = int(k_col[rec.tid])
         events.append((rec.start, 1, k))
         events.append((rec.end, 0, k))
     events.sort(key=lambda e: (e[0], e[1]))
@@ -106,7 +107,7 @@ def extract_critical_path(trace: ExecutionTrace, graph: TaskGraph) -> List[int]:
     cur = max(end, key=end.get)  # type: ignore[arg-type]
     while True:
         path.append(cur)
-        deps = graph.dependencies(graph.tasks[cur])
+        deps = graph.dependencies(cur)
         if not deps:
             break
         cur = max(deps, key=lambda d: end[d])
@@ -130,8 +131,9 @@ def critical_path_breakdown(trace: ExecutionTrace, graph: TaskGraph) -> Dict[str
     for prev, cur in zip(path, path[1:]):
         wait += max(0.0, rec[cur].start - rec[prev].end)
     wait += max(0.0, rec[path[0]].start)
+    kind_col = graph.columns.kind
     for tid in path:
-        kind = graph.tasks[tid].kind.name
+        kind = KIND_NAMES[kind_col[tid]]
         time_by_kind[kind] = time_by_kind.get(kind, 0.0) + (rec[tid].end - rec[tid].start)
     span = trace.makespan or 1.0
     return {
@@ -177,8 +179,9 @@ def compute_stats(trace: ExecutionTrace, graph: TaskGraph) -> TraceStats:
 
     time_by_kind: Dict[str, float] = {}
     count_by_kind: Dict[str, int] = {}
+    kind_col = graph.columns.kind
     for rec in trace.task_records:
-        kind = graph.tasks[rec.tid].kind.name
+        kind = KIND_NAMES[kind_col[rec.tid]]
         time_by_kind[kind] = time_by_kind.get(kind, 0.0) + (rec.end - rec.start)
         count_by_kind[kind] = count_by_kind.get(kind, 0) + 1
 

@@ -72,7 +72,7 @@ def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) ->
         seen_nodes.add(rec.node)
         name = f"task {rec.tid}"
         if graph is not None:
-            name = repr(graph.tasks[rec.tid])
+            name = graph.task_label(rec.tid)
         events.append({
             "name": name,
             "cat": "task",

@@ -63,6 +63,17 @@ class TestGraphBuilder:
         assert cholesky_task_count(2) == 4  # potrf x2, trsm, syrk
         assert cholesky_task_count(3) == 10
 
+    def test_per_kind_counts_match_closed_form(self):
+        n = 9
+        dist = TileDistribution(sbc(10), n, symmetric=True)
+        graph, _ = build_cholesky_graph(dist, 4)
+        kinds = graph.columns.kind
+        assert (kinds == TaskKind.POTRF).sum() == n
+        assert (kinds == TaskKind.TRSM).sum() == n * (n - 1) // 2
+        assert (kinds == TaskKind.SYRK).sum() == n * (n - 1) // 2
+        assert (kinds == TaskKind.GEMM).sum() == n * (n - 1) * (n - 2) // 6
+        assert len(graph) == cholesky_task_count(n)
+
     def test_graph_validates(self):
         dist = TileDistribution(sbc(10), 9, symmetric=True)
         graph, _ = build_cholesky_graph(dist, 4)

@@ -56,6 +56,21 @@ class TestGraphBuilder:
             graph, _ = build_lu_graph(dist, 4)
             assert len(graph) == lu_task_count(n)
 
+    def test_task_count_formula(self):
+        # n getrf + 2·n(n-1)/2 trsm + Σ_k (n-1-k)² = n(n-1)(2n-1)/6 gemm
+        for n in range(1, 20):
+            assert lu_task_count(n) == (
+                n + n * (n - 1) + sum((n - 1 - k) ** 2 for k in range(n)))
+
+    def test_per_kind_counts_match_closed_form(self):
+        n = 9
+        graph, _ = build_lu_graph(TileDistribution(g2dbc(5), n), 4)
+        kinds = graph.columns.kind
+        assert (kinds == TaskKind.GETRF).sum() == n
+        assert (kinds == TaskKind.TRSM).sum() == n * (n - 1)
+        assert (kinds == TaskKind.GEMM).sum() == n * (n - 1) * (2 * n - 1) // 6
+        assert len(graph) == lu_task_count(n)
+
     def test_graph_validates(self):
         dist = TileDistribution(g2dbc(7), 9)
         graph, _ = build_lu_graph(dist, 4)

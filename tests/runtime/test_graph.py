@@ -96,3 +96,57 @@ class TestValidate:
         g = make_graph()
         t = g.submit(TaskKind.GEMM, 2, 3, 1, 0, 1.0, (), 0)
         assert repr(t) == "GEMM(2,3;k=1)@0"
+
+
+class TestMessageCountSinglePass:
+    """Regression: :meth:`TaskGraph.message_count` must resolve version
+    homes through the precomputed first-writer index in ONE vectorized
+    pass — the pre-refactor implementation rescanned the whole task
+    list for every version whose producer it hadn't tracked (quadratic
+    on panel-heavy graphs)."""
+
+    def _lu_graph(self):
+        from repro.distribution import TileDistribution
+        from repro.dla.lu import build_lu_graph
+        from repro.patterns.g2dbc import g2dbc
+
+        dist = TileDistribution(g2dbc(5), 10, symmetric=False)
+        return build_lu_graph(dist, 8)
+
+    def test_matches_object_level_recount(self):
+        graph, _ = self._lu_graph()
+        # brute force over materialized tasks: one message per unique
+        # (data, version, remote consumer node)
+        producer_node = {}
+        first_writer_node = {}
+        for t in graph.tasks:
+            producer_node[t.write] = t.node
+            first_writer_node.setdefault(t.write[0], t.node)
+        pairs = set()
+        for t in graph.tasks:
+            for d, v in t.reads:
+                home = producer_node.get((d, v), first_writer_node.get(d, -1))
+                if home >= 0 and home != t.node:
+                    pairs.add((d, v, t.node))
+        assert graph.message_count() == len(pairs)
+
+    def test_single_vectorized_pass(self, monkeypatch):
+        graph, _ = self._lu_graph()
+        graph.columns  # freeze the columns before instrumenting
+        calls = {"producer_for": 0}
+        orig = TaskGraph.producer_for
+
+        def counting(self, data, version):
+            calls["producer_for"] += 1
+            return orig(self, data, version)
+
+        def no_tasks(self):
+            raise AssertionError(
+                "message_count must not materialize Task objects")
+
+        monkeypatch.setattr(TaskGraph, "producer_for", counting)
+        monkeypatch.setattr(TaskGraph, "tasks", property(no_tasks))
+        monkeypatch.setattr(TaskGraph, "task", no_tasks)
+        assert graph.message_count() > 0
+        # exactly one batched producer lookup, no per-task fallback scan
+        assert calls["producer_for"] == 1

@@ -269,3 +269,51 @@ class TestForkJoin:
             k = graph.tasks[rec.tid].k
             if k > 0:
                 assert rec.start >= end_by_iter[k - 1] - 1e-12
+
+
+@pytest.mark.slow
+class TestLargeGraphSmoke:
+    """m = 48 end-to-end smoke on the array hot path (slow).
+
+    Exercises the fully inlined no-record fast loop (priority scheduler,
+    integer-coded message keys, heap bypass) at a size where the old
+    object-based preprocessing took seconds, and pins the global
+    invariants the golden traces cannot cover at this scale.
+    """
+
+    def test_lu_m48_nic(self):
+        from repro.distribution import TileDistribution
+        from repro.dla.lu import build_lu_graph, lu_task_count
+        from repro.patterns.g2dbc import g2dbc
+        from repro.runtime.analysis import makespan_bounds
+
+        P, m = 12, 48
+        cl = ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                         bandwidth_Bps=1e9, latency_s=1e-6, tile_size=8)
+        graph, home = build_lu_graph(TileDistribution(g2dbc(P), m), 8)
+        assert len(graph) == lu_task_count(m)
+        trace = simulate(graph, cl, data_home=home, network="nic")
+        assert trace.makespan >= makespan_bounds(graph, cl).best - 1e-12
+        # one message per (version, remote consumer node): the simulator
+        # must send exactly what the graph-level count predicts
+        assert trace.n_messages == graph.message_count()
+        assert trace.busy_time.sum() == pytest.approx(
+            graph.total_flops / (cl.core_gflops * 1e9), rel=1e-9)
+
+    def test_cholesky_m48_nic(self):
+        from repro.distribution import TileDistribution
+        from repro.dla.cholesky import build_cholesky_graph, cholesky_task_count
+        from repro.patterns.sbc import sbc
+        from repro.runtime.analysis import makespan_bounds
+
+        P, m = 10, 48
+        cl = ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                         bandwidth_Bps=1e9, latency_s=1e-6, tile_size=8)
+        dist = TileDistribution(sbc(P), m, symmetric=True)
+        graph, home = build_cholesky_graph(dist, 8)
+        assert len(graph) == cholesky_task_count(m)
+        trace = simulate(graph, cl, data_home=home, network="nic")
+        assert trace.makespan >= makespan_bounds(graph, cl).best - 1e-12
+        assert trace.n_messages == graph.message_count()
+        assert trace.busy_time.sum() == pytest.approx(
+            graph.total_flops / (cl.core_gflops * 1e9), rel=1e-9)
