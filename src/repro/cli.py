@@ -83,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", choices=sorted(NETWORK_MODELS), default="nic",
                    help="communication model (nic = legacy sender-serialized, "
                         "contention = rx serialization + latency + shared link)")
+    p.add_argument("--faults", metavar="SPEC", default="",
+                   help="fault plan, e.g. 'fail:2@0.05,loss:0.01,seed:7' "
+                        "(fail:N@T, slow:N@T0-T1xF, degrade:T0-T1xF, loss:P, "
+                        "seed:N); runs a fault-free baseline for comparison")
     add_search_flags(p)
 
     p = sub.add_parser("campaign",
@@ -101,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tile-size", type=int, default=500)
     p.add_argument("--jobs", "-j", type=jobs_count, default=1, metavar="N",
                    help="worker processes (1 = serial, 0 = auto-select)")
+    p.add_argument("--faults", nargs="+", default=[""], metavar="SPEC",
+                   help="fault-plan axis; each SPEC adds a degraded variant "
+                        "of every cell ('' = fault-free)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the rows as CSV")
 
@@ -192,11 +199,16 @@ def q_lu_from_t(t: float, n: int) -> float:
 
 def cmd_simulate(args) -> int:
     from .experiments.harness import run_factorization
-    from .runtime.stats import comm_breakdown
+    from .runtime.stats import comm_breakdown, fault_breakdown
 
     pat = _get_pattern(args)
     trace = run_factorization(pat, args.tiles, args.kernel,
                               tile_size=args.tile_size, network=args.network)
+    faulted = None
+    if args.faults:
+        faulted = run_factorization(pat, args.tiles, args.kernel,
+                                    tile_size=args.tile_size,
+                                    network=args.network, faults=args.faults)
     print(f"pattern    : {pat.name} (T = {pat.cost(args.kernel):.3f})")
     print(f"network    : {trace.network}")
     for key, val in trace.summary().items():
@@ -205,6 +217,16 @@ def cmd_simulate(args) -> int:
     print(f"{'link_busy':<20}: {comm['link_busy_fraction']:,.4f}")
     print(f"{'eager/rendezvous':<20}: "
           f"{comm['n_eager']}/{comm['n_rendezvous']}")
+    if faulted is not None:
+        print(f"\n--- degraded run ({args.faults}) ---")
+        fb = fault_breakdown(faulted, baseline=trace)
+        print(f"{'makespan_s':<20}: {faulted.makespan:,.6f}")
+        for key in ("makespan_inflation", "failed_nodes", "tasks_rehomed",
+                    "tasks_aborted", "tasks_resurrected", "recovery_messages",
+                    "recovery_bytes", "msgs_lost", "retries", "msgs_degraded",
+                    "straggle_s", "extra_messages"):
+            val = fb[key]
+            print(f"{key:<20}: {val}")
     return 0
 
 
@@ -215,7 +237,8 @@ def cmd_campaign(args) -> int:
 
     cells = plan_campaign(
         args.families, Ps=args.nodes, ms=args.tiles, networks=args.networks,
-        kernels=[args.kernel] if args.kernel else None)
+        kernels=[args.kernel] if args.kernel else None,
+        faults=args.faults)
     if not cells:
         print("no feasible cells in the requested grid")
         return 1

@@ -44,6 +44,7 @@ from ..patterns.sbc import sbc_feasible
 from ..patterns.search import auto_executor, chunk_tasks
 from ..patterns.sts import sts_node_counts
 from ..runtime.analysis import makespan_bounds
+from ..runtime.faults import colrow_recovery, parse_faults
 from ..runtime.network import NETWORK_MODELS
 from ..runtime.simulator import simulate
 from .machine import PAPER_TILE_SIZE, sim_cluster
@@ -80,11 +81,12 @@ class CampaignCell:
     m: int               #: matrix size in tiles
     network: str = "nic"             #: simulator network model
     bandwidth_scale: float = 1.0     #: multiplier on the platform bandwidth
+    faults: str = ""                 #: fault spec (``parse_faults`` grammar)
 
     def signature(self) -> tuple:
         """Hashable memoization key (includes every field)."""
         return (self.family, self.kernel, self.P, self.m,
-                self.network, self.bandwidth_scale)
+                self.network, self.bandwidth_scale, self.faults)
 
 
 @dataclass
@@ -108,6 +110,14 @@ class CampaignRow:
     link_busy_fraction: float    #: shared-link occupancy (0 under "nic")
     n_eager: int
     n_rendezvous: int
+    # degraded-run columns (defaults = fault-free cell)
+    faults: str = ""                      #: the cell's fault spec
+    faultfree_makespan_s: float = 0.0     #: same cell simulated fault-free
+    makespan_inflation: float = 1.0       #: degraded / fault-free makespan
+    failed_nodes: int = 0
+    recovery_messages: int = 0
+    msgs_lost: int = 0
+    retries: int = 0
 
     @property
     def makespan_ratio(self) -> float:
@@ -134,17 +144,23 @@ def plan_campaign(
     networks: Sequence[str] = ("nic",),
     kernels: Optional[Sequence[str]] = None,
     bandwidth_scales: Sequence[float] = (1.0,),
+    faults: Sequence[str] = ("",),
 ) -> List[CampaignCell]:
     """Expand a grid into feasible :class:`CampaignCell` specs.
 
     ``kernels=None`` uses each family's :data:`DEFAULT_KERNELS` pairing;
     passing an explicit kernel list forces those kernels for every
-    family (still subject to feasibility at each ``P``).
+    family (still subject to feasibility at each ``P``).  ``faults`` is
+    an extra grid axis of :func:`~repro.runtime.faults.parse_faults`
+    spec strings (``""`` = fault-free); degraded cells carry
+    makespan-inflation and recovery columns in their rows.
     """
     for net in networks:
         if net not in NETWORK_MODELS:
             raise ValueError(
                 f"unknown network model {net!r}; have {sorted(NETWORK_MODELS)}")
+    for spec in faults:
+        parse_faults(spec)  # validate the grammar before fanning out
     cells: List[CampaignCell] = []
     for family in families:
         if family not in PATTERN_FAMILIES:
@@ -159,9 +175,11 @@ def plan_campaign(
                 for m in ms:
                     for net in networks:
                         for bw in bandwidth_scales:
-                            cells.append(CampaignCell(
-                                family=family, kernel=kernel, P=P, m=m,
-                                network=net, bandwidth_scale=bw))
+                            for spec in faults:
+                                cells.append(CampaignCell(
+                                    family=family, kernel=kernel, P=P, m=m,
+                                    network=net, bandwidth_scale=bw,
+                                    faults=spec))
     return cells
 
 
@@ -201,7 +219,18 @@ def _eval_cell(cell: CampaignCell, tile_size: int) -> CampaignRow:
     else:
         raise ValueError(f"unknown kernel {cell.kernel!r}")
     bounds = makespan_bounds(graph, cluster)
-    trace = simulate(graph, cluster, data_home=home, network=cell.network)
+    baseline = simulate(graph, cluster, data_home=home, network=cell.network)
+    plan = parse_faults(cell.faults)
+    if plan:
+        # the degraded run: same graph under the cell's fault plan, with
+        # colrow re-homing; the fault-free run above becomes the
+        # makespan-inflation denominator
+        trace = simulate(graph, cluster, data_home=home, network=cell.network,
+                         faults=plan, recovery=colrow_recovery(pattern))
+        fs = trace.fault_stats
+    else:
+        trace = baseline
+        fs = None
     net = trace.net_stats
     fr = net.busy_fractions(trace.makespan) if net is not None else {"link_busy": 0.0}
     return CampaignRow(
@@ -218,6 +247,14 @@ def _eval_cell(cell: CampaignCell, tile_size: int) -> CampaignRow:
         link_busy_fraction=float(fr["link_busy"]),
         n_eager=int(net.n_eager) if net is not None else 0,
         n_rendezvous=int(net.n_rendezvous) if net is not None else 0,
+        faults=cell.faults,
+        faultfree_makespan_s=float(baseline.makespan),
+        makespan_inflation=(float(trace.makespan / baseline.makespan)
+                            if baseline.makespan > 0 else 1.0),
+        failed_nodes=len(fs.failed_nodes) if fs else 0,
+        recovery_messages=fs.recovery_messages if fs else 0,
+        msgs_lost=fs.msgs_lost if fs else 0,
+        retries=fs.retries if fs else 0,
     )
 
 
@@ -269,19 +306,34 @@ def run_campaign(
 
 
 def format_campaign(rows: Iterable[CampaignRow]) -> str:
-    """Predicted-vs-simulated table (the Fig. 6–8 validation artifact)."""
+    """Predicted-vs-simulated table (the Fig. 6–8 validation artifact).
+
+    When any row carries a fault spec, the table grows a degraded-run
+    block: the fault-free makespan, the makespan inflation, and the
+    recovery/retry counts — the predicted-vs-degraded comparison.
+    """
+    rows = list(rows)
+    faulted = any(r.faults for r in rows)
     header = (
         f"{'family':<14} {'kernel':<9} {'net':<11} {'P':>4} {'m':>4} "
         f"{'T(G)':>7} {'msg pred':>9} {'msg sim':>9} {'bound s':>10} "
         f"{'sim s':>10} {'ratio':>6} {'GF/s/node':>10} {'link':>6}"
     )
+    if faulted:
+        header += (f" {'faults':<24} {'ff s':>10} {'infl':>6} "
+                   f"{'rec':>5} {'lost':>5} {'retry':>5}")
     lines = [header, "-" * len(header)]
     for r in rows:
-        lines.append(
+        line = (
             f"{r.family:<14} {r.kernel:<9} {r.network:<11} {r.P:>4} {r.m:>4} "
             f"{r.pattern_cost:>7.3f} {r.predicted_messages:>9} "
             f"{r.simulated_messages:>9} {r.predicted_makespan_s:>10.4g} "
             f"{r.makespan_s:>10.4g} {r.makespan_ratio:>6.3f} "
             f"{r.gflops_per_node:>10.1f} {r.link_busy_fraction:>6.1%}"
         )
+        if faulted:
+            line += (f" {(r.faults or '-'):<24} {r.faultfree_makespan_s:>10.4g} "
+                     f"{r.makespan_inflation:>6.3f} {r.recovery_messages:>5} "
+                     f"{r.msgs_lost:>5} {r.retries:>5}")
+        lines.append(line)
     return "\n".join(lines)

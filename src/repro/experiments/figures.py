@@ -81,7 +81,8 @@ def _rows_from_results(results: Iterable[ResultRow]) -> List[dict]:
 # Figure 1 — 2DBC shape study for LU
 # ---------------------------------------------------------------------------
 def fig1_2dbc_shapes(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
-                     tile_size: int = 500) -> FigureResult:
+                     tile_size: int = 500,
+                     network: Optional[str] = None) -> FigureResult:
     """LU with 2DBC grids 5×4 (P=20), 7×3 (21), 11×2 (22), 23×1 (23).
 
     Paper observation: per-node GFlop/s improves as the grid becomes
@@ -94,7 +95,8 @@ def fig1_2dbc_shapes(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
         "2DBC 11x2 (P=22)": bc2d(11, 2),
         "2DBC 23x1 (P=23)": bc2d(23, 1),
     }
-    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size))
+    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size,
+                                    network=network))
     return FigureResult("Figure 1", "LU, 2DBC pattern shapes (total and per-node GFlop/s)", rows)
 
 
@@ -179,25 +181,29 @@ def table1b_cholesky_patterns(seeds: Iterable[int] = range(20),
 # Figures 5/6 — LU performance, P = 23 and P = 39
 # ---------------------------------------------------------------------------
 def fig5_lu_p23(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
-                tile_size: int = 500) -> FigureResult:
+                tile_size: int = 500,
+                network: Optional[str] = None) -> FigureResult:
     patterns = {
         "G-2DBC (P=23)": g2dbc(23),
         "2DBC 23x1 (P=23)": bc2d(23, 1),
         "2DBC 7x3 (P=21)": bc2d(7, 3),
         "2DBC 4x4 (P=16)": bc2d(4, 4),
     }
-    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size))
+    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size,
+                                    network=network))
     return FigureResult("Figure 5", "LU factorization using a maximum of P=23 nodes", rows)
 
 
 def fig6_lu_p39(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
-                tile_size: int = 500) -> FigureResult:
+                tile_size: int = 500,
+                network: Optional[str] = None) -> FigureResult:
     patterns = {
         "G-2DBC (P=39)": g2dbc(39),
         "2DBC 13x3 (P=39)": bc2d(13, 3),
         "2DBC 6x6 (P=36)": bc2d(6, 6),
     }
-    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size))
+    rows = _rows_from_results(sweep(patterns, n_tiles_list, "lu", tile_size=tile_size,
+                                    network=network))
     return FigureResult("Figure 6", "LU factorization using a maximum of P=39 nodes", rows)
 
 
@@ -205,14 +211,16 @@ def fig6_lu_p39(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
 # Figure 7 — strong scaling at fixed matrix size
 # ---------------------------------------------------------------------------
 def fig7a_strong_scaling_lu(n_tiles: int = 48, tile_size: int = 500,
-                            P_values: Sequence[int] = (23, 31, 35, 39)) -> FigureResult:
+                            P_values: Sequence[int] = (23, 31, 35, 39),
+                            network: Optional[str] = None) -> FigureResult:
     """LU at fixed size: G-2DBC on all P vs the best practical 2DBC."""
     rows = []
     for P in P_values:
         patterns = {f"G-2DBC (P={P})": g2dbc(P)}
         r, c = best_grid(P)
         patterns[f"2DBC {r}x{c} (P={P})"] = bc2d(r, c)
-        rows.extend(_rows_from_results(sweep(patterns, [n_tiles], "lu", tile_size=tile_size)))
+        rows.extend(_rows_from_results(sweep(patterns, [n_tiles], "lu", tile_size=tile_size,
+                                             network=network)))
     return FigureResult("Figure 7a", f"LU strong scaling, {n_tiles} tiles "
                         f"(paper: N=200000)", rows)
 
@@ -220,7 +228,8 @@ def fig7a_strong_scaling_lu(n_tiles: int = 48, tile_size: int = 500,
 def fig7b_strong_scaling_cholesky(n_tiles: int = 48, tile_size: int = 500,
                                   P_values: Sequence[int] = (23, 31, 35, 39),
                                   seeds: Iterable[int] = range(10),
-                                  max_factor: float = 3.0) -> FigureResult:
+                                  max_factor: float = 3.0,
+                                  network: Optional[str] = None) -> FigureResult:
     """Cholesky at fixed size: GCR&M on all P vs the best SBC within P."""
     rows = []
     seeds = list(seeds)
@@ -232,7 +241,7 @@ def fig7b_strong_scaling_cholesky(n_tiles: int = 48, tile_size: int = 500,
         sbc_pat = patterns["SBC"]
         patterns[f"SBC (P'={sbc_pat.nnodes})"] = patterns.pop("SBC")
         rows.extend(_rows_from_results(sweep(patterns, [n_tiles], "cholesky",
-                                             tile_size=tile_size)))
+                                             tile_size=tile_size, network=network)))
     return FigureResult("Figure 7b", f"Cholesky strong scaling, {n_tiles} tiles "
                         f"(paper: N=200000)", rows)
 
@@ -317,22 +326,26 @@ def fig10_symmetric_cost(P_range: Iterable[int] = range(4, 61),
 def fig11_cholesky_p31(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
                        tile_size: int = 500,
                        seeds: Iterable[int] = range(10),
-                       max_factor: float = 3.0) -> FigureResult:
+                       max_factor: float = 3.0,
+                       network: Optional[str] = None) -> FigureResult:
     patterns = {
         "GCR&M (P=31)": gcrm_search(31, seeds=list(seeds), max_factor=max_factor).pattern,
         "SBC 8x8 (P=28)": sbc(28),
     }
-    rows = _rows_from_results(sweep(patterns, n_tiles_list, "cholesky", tile_size=tile_size))
+    rows = _rows_from_results(sweep(patterns, n_tiles_list, "cholesky", tile_size=tile_size,
+                                    network=network))
     return FigureResult("Figure 11", "Cholesky factorization using a maximum of P=31 nodes", rows)
 
 
 def fig12_cholesky_p35(n_tiles_list: Sequence[int] = DEFAULT_SIZES,
                        tile_size: int = 500,
                        seeds: Iterable[int] = range(10),
-                       max_factor: float = 3.0) -> FigureResult:
+                       max_factor: float = 3.0,
+                       network: Optional[str] = None) -> FigureResult:
     patterns = {
         "GCR&M (P=35)": gcrm_search(35, seeds=list(seeds), max_factor=max_factor).pattern,
         "SBC 8x8 (P=32)": sbc(32),
     }
-    rows = _rows_from_results(sweep(patterns, n_tiles_list, "cholesky", tile_size=tile_size))
+    rows = _rows_from_results(sweep(patterns, n_tiles_list, "cholesky", tile_size=tile_size,
+                                    network=network))
     return FigureResult("Figure 12", "Cholesky factorization using a maximum of P=35 nodes", rows)

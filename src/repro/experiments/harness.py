@@ -58,12 +58,18 @@ def run_factorization(
     tile_size: int = 500,
     network: Optional[str] = None,
     record_tasks: bool = False,
+    faults=None,
+    recovery=None,
 ) -> ExecutionTrace:
     """Simulate one factorization run under ``pattern``.
 
     ``network`` selects the simulator's communication model (``"nic"``,
     ``"contention"`` or a bound-able model instance; ``None`` = legacy
-    ``"nic"``).
+    ``"nic"``).  ``faults`` is a
+    :class:`~repro.runtime.faults.FaultPlan` or spec string; when set
+    (and no explicit ``recovery`` policy is given), failed nodes are
+    re-homed onto their pattern colrow peers
+    (:func:`~repro.runtime.faults.colrow_recovery`).
     """
     if cluster is None:
         cluster = sim_cluster(pattern.nnodes, tile_size=tile_size)
@@ -77,8 +83,12 @@ def run_factorization(
         graph, home = build_cholesky_graph(dist, tile_size)
     else:
         raise ValueError(f"unknown kernel {kernel!r}")
+    if faults is not None and recovery is None:
+        from ..runtime.faults import colrow_recovery
+        recovery = colrow_recovery(pattern)
     return simulate(graph, cluster, data_home=home,
-                    network=network, record_tasks=record_tasks)
+                    network=network, record_tasks=record_tasks,
+                    faults=faults, recovery=recovery)
 
 
 def sweep(
@@ -87,13 +97,20 @@ def sweep(
     kernel: str,
     tile_size: int = 500,
     cluster_factory=sim_cluster,
+    network: Optional[str] = None,
 ) -> List[ResultRow]:
-    """Run every pattern at every size; return flat result rows."""
+    """Run every pattern at every size; return flat result rows.
+
+    ``network`` is forwarded to :func:`run_factorization` so sweeps and
+    figures can run under either communication model (previously it was
+    silently dropped and every sweep used the legacy ``"nic"`` model).
+    """
     rows: List[ResultRow] = []
     for label, pattern in patterns.items():
         cluster = cluster_factory(pattern.nnodes, tile_size=tile_size)
         for n_tiles in n_tiles_list:
-            trace = run_factorization(pattern, n_tiles, kernel, cluster, tile_size)
+            trace = run_factorization(pattern, n_tiles, kernel, cluster,
+                                      tile_size, network=network)
             rows.append(
                 ResultRow(
                     label=label,

@@ -7,6 +7,11 @@ database).  The JSON schema is:
 .. code-block:: json
 
     {"name": "...", "nnodes": 23, "grid": [[0, 1], [2, -1]]}
+
+Malformed input — invalid JSON, missing keys, ragged or non-numeric
+grids, an ``nnodes`` that contradicts the grid — raises
+:class:`~repro.patterns.base.PatternError` naming the offending file
+path (and database entry), never a raw ``KeyError``/``IndexError``.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import json
 from pathlib import Path
 from typing import Dict, Union
 
-from .base import Pattern
+from .base import Pattern, PatternError
 
 __all__ = ["pattern_to_dict", "pattern_from_dict", "save_pattern", "load_pattern",
            "save_database", "load_database"]
@@ -29,16 +34,62 @@ def pattern_to_dict(pattern: Pattern) -> dict:
     }
 
 
-def pattern_from_dict(data: dict) -> Pattern:
-    return Pattern(data["grid"], nnodes=data["nnodes"], name=data.get("name", ""))
+def pattern_from_dict(data: dict, context: str = "") -> Pattern:
+    """Build a :class:`Pattern` from the JSON schema, validating shape.
+
+    ``context`` (a file path, possibly with a database key) is prefixed
+    to every error message so a bad file in a batch load is locatable.
+    """
+    where = f"{context}: " if context else ""
+    if not isinstance(data, dict):
+        raise PatternError(f"{where}pattern entry must be a JSON object, "
+                           f"got {type(data).__name__}")
+    for key in ("grid", "nnodes"):
+        if key not in data:
+            raise PatternError(f"{where}missing required key {key!r}")
+    grid = data["grid"]
+    if (not isinstance(grid, list) or not grid
+            or not all(isinstance(row, list) for row in grid)):
+        raise PatternError(f"{where}'grid' must be a non-empty list of rows")
+    ncols = len(grid[0])
+    for i, row in enumerate(grid):
+        if len(row) != ncols:
+            raise PatternError(
+                f"{where}ragged grid: row {i} has {len(row)} entries, "
+                f"row 0 has {ncols}")
+        for j, cell in enumerate(row):
+            if not isinstance(cell, int) or isinstance(cell, bool):
+                raise PatternError(
+                    f"{where}grid[{i}][{j}] must be an integer node id, "
+                    f"got {cell!r}")
+    nnodes = data["nnodes"]
+    if not isinstance(nnodes, int) or isinstance(nnodes, bool) or nnodes <= 0:
+        raise PatternError(f"{where}'nnodes' must be a positive integer, "
+                           f"got {nnodes!r}")
+    max_node = max(max(row) for row in grid)
+    if max_node >= nnodes:
+        raise PatternError(
+            f"{where}grid references node {max_node} but nnodes is {nnodes}")
+    try:
+        return Pattern(grid, nnodes=nnodes, name=data.get("name", ""))
+    except PatternError as exc:
+        raise PatternError(f"{where}{exc}") from None
 
 
 def save_pattern(pattern: Pattern, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(pattern_to_dict(pattern), indent=1))
 
 
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PatternError(f"{path}: invalid JSON: {exc}") from None
+
+
 def load_pattern(path: Union[str, Path]) -> Pattern:
-    return pattern_from_dict(json.loads(Path(path).read_text()))
+    path = Path(path)
+    return pattern_from_dict(_load_json(path), context=str(path))
 
 
 def save_database(patterns: Dict[int, Pattern], path: Union[str, Path]) -> None:
@@ -48,5 +99,20 @@ def save_database(patterns: Dict[int, Pattern], path: Union[str, Path]) -> None:
 
 
 def load_database(path: Union[str, Path]) -> Dict[int, Pattern]:
-    payload = json.loads(Path(path).read_text())
-    return {int(P): pattern_from_dict(d) for P, d in payload.items()}
+    path = Path(path)
+    payload = _load_json(path)
+    if not isinstance(payload, dict):
+        raise PatternError(f"{path}: database must be a JSON object keyed by P")
+    out: Dict[int, Pattern] = {}
+    for P, d in payload.items():
+        try:
+            key = int(P)
+        except ValueError:
+            raise PatternError(
+                f"{path}: database key {P!r} is not an integer P") from None
+        pat = pattern_from_dict(d, context=f"{path}[{P}]")
+        if pat.nnodes != key:
+            raise PatternError(
+                f"{path}[{P}]: entry declares nnodes={pat.nnodes} under key {P}")
+        out[key] = pat
+    return out

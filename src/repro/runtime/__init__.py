@@ -8,12 +8,25 @@ from .objgraph import (
     build_cholesky_graph_reference,
     build_lu_graph_reference,
 )
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultStats,
+    LinkDegradation,
+    NodeFailure,
+    StragglerWindow,
+    colrow_recovery,
+    parse_faults,
+    recovery_peers,
+    simulate_with_faults,
+)
 from .network import (
     NETWORK_MODELS,
     ContentionModel,
     NetworkModel,
     NetworkStats,
     NicModel,
+    ResilientNetwork,
     make_network,
 )
 from .objsim import simulate_reference
@@ -22,6 +35,7 @@ from .stats import (
     TraceStats,
     comm_breakdown,
     compute_stats,
+    fault_breakdown,
     concurrency_profile,
     critical_path_breakdown,
     extract_critical_path,
@@ -56,7 +70,19 @@ __all__ = [
     "NetworkModel",
     "NetworkStats",
     "NicModel",
+    "ResilientNetwork",
     "make_network",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStats",
+    "LinkDegradation",
+    "NodeFailure",
+    "StragglerWindow",
+    "colrow_recovery",
+    "parse_faults",
+    "recovery_peers",
+    "simulate_with_faults",
+    "fault_breakdown",
     "SimulationError",
     "TraceStats",
     "comm_breakdown",

@@ -126,6 +126,24 @@ class ClusterSpec:
         return self.message_time() / gemm_time
 
     def with_nodes(self, nnodes: int) -> "ClusterSpec":
+        """Resize the cluster, preserving the machine mix.
+
+        With ``node_speeds`` set, the speeds tuple is resized too
+        (``replace`` alone would keep the stale tuple and trip the
+        ``__post_init__`` length check): shrinking keeps the first
+        ``nnodes`` speeds, growing cycles through the existing profile
+        (``speeds[i % len]``) — the same heterogeneity mix extended to
+        more nodes.
+        """
+        if nnodes <= 0:
+            raise ValueError(f"nnodes must be positive, got {nnodes}")
+        speeds = self.node_speeds
+        if speeds and len(speeds) != nnodes:
+            if nnodes < len(speeds):
+                speeds = speeds[:nnodes]
+            else:
+                speeds = tuple(speeds[i % len(speeds)] for i in range(nnodes))
+            return replace(self, nnodes=nnodes, node_speeds=speeds)
         return replace(self, nnodes=nnodes)
 
 

@@ -64,10 +64,12 @@ __all__ = [
     "EVENT_TASK_DONE",
     "EVENT_MSG_ARRIVE",
     "EVENT_NET_INTERNAL",
+    "EVENT_FAULT",
     "NetworkStats",
     "NetworkModel",
     "NicModel",
     "ContentionModel",
+    "ResilientNetwork",
     "NETWORK_MODELS",
     "make_network",
 ]
@@ -76,6 +78,7 @@ __all__ = [
 EVENT_TASK_DONE = 0
 EVENT_MSG_ARRIVE = 1
 EVENT_NET_INTERNAL = 2
+EVENT_FAULT = 3
 
 
 @dataclass
@@ -427,6 +430,147 @@ class ContentionModel(NetworkModel):
         out.n_eager = self.n_eager
         out.n_rendezvous = self.n_rendezvous
         return out
+
+
+class ResilientNetwork(NetworkModel):
+    """Fault-plan decorator around a concrete network model.
+
+    Wraps any :class:`NetworkModel` and intercepts *deliveries* (not
+    sends): the inner model keeps its exact timing arithmetic, and the
+    wrapper decides at arrival time whether the message was lost to the
+    plan's loss probability (seeded PCG64, one draw per delivery) or
+    stretched by an active link-degradation window.
+
+    Retry protocol: a lost delivery schedules a retransmission of the
+    same ``(ref, dst)`` after ``retry_timeout_s · backoff^attempt``
+    (attempt counted per message); after ``max_retries`` lost attempts
+    the delivery succeeds unconditionally — the transport's last-resort
+    acknowledged path — so every run terminates.  Each loss initiates
+    exactly one retransmission, hence ``retries == msgs_lost``.
+    Retransmissions re-enter the inner model through :meth:`send`, so
+    they pay NIC serialization and contention like any other message;
+    a retransmission whose source has since failed is satisfied from
+    stable storage (:meth:`storage_fetch`) instead.
+
+    With the wrapper in place, multicast always degrades to point-to-
+    point sends (a binomial ``tree`` schedule cannot be retried per
+    destination), matching the p2p default of both concrete models.
+
+    The simulator must filter every ``EVENT_MSG_ARRIVE`` through
+    :meth:`arrived` (and internal events through :meth:`on_internal`,
+    which applies the same filter to the contention model's completed
+    flows).  Only :func:`repro.runtime.faults.simulate_with_faults`
+    does this; the fast path never instantiates the wrapper.
+    """
+
+    def __init__(self, inner: NetworkModel, plan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def n_messages(self) -> int:  # type: ignore[override]
+        return self.inner.n_messages
+
+    @property
+    def msg_records(self):  # type: ignore[override]
+        return self.inner.msg_records
+
+    def bind(self, cluster: ClusterSpec,
+             push_event: Callable[[float, int, object], None],
+             record: bool = False) -> None:
+        from .faults import FaultEvent  # late: faults imports this module
+        self._FaultEvent = FaultEvent
+        self.cluster = cluster
+        self._push = push_event
+        self.inner.bind(cluster, push_event, record=record)
+        plan = self.plan
+        self._rng = np.random.Generator(np.random.PCG64(plan.seed))
+        self._timeout = (plan.retry_timeout_s if plan.retry_timeout_s is not None
+                         else 4.0 * cluster.message_time())
+        self._attempts: dict = {}
+        self._src: dict = {}
+        self._dead: set = set()
+        self.msgs_lost = 0
+        self.retries = 0
+        self.msgs_degraded = 0
+        self.fault_events: list = []
+
+    def mark_dead(self, node: int) -> None:
+        self._dead.add(node)
+
+    # ------------------------------------------------------------------
+    def send(self, ref: DataRef, src: int, dst: int, t: float) -> None:
+        self._src[(ref, dst)] = src
+        self.inner.send(ref, src, dst, t)
+
+    def multicast(self, src: int, dests, t: float) -> None:
+        for ref, dst in dests:
+            self.send(ref, src, dst, t)
+
+    def storage_fetch(self, ref: DataRef, dst: int, t: float) -> None:
+        """Reliable re-fetch from stable storage (one message time)."""
+        self._push(t + self.cluster.message_time(), EVENT_NET_INTERNAL,
+                   ("_flt", "deliver", ref, dst))
+
+    # ------------------------------------------------------------------
+    def arrived(self, ref: DataRef, dst: int, t: float) -> bool:
+        """Loss/degradation filter applied to every delivery.
+
+        Returns ``True`` if the message really arrives at ``t``; a
+        ``False`` means the wrapper has scheduled a later retry or a
+        stretched delivery on the shared event heap.
+        """
+        plan = self.plan
+        key = (ref, dst)
+        if plan.msg_loss_prob > 0.0:
+            attempt = self._attempts.get(key, 0)
+            if attempt < plan.max_retries and self._rng.random() < plan.msg_loss_prob:
+                self._attempts[key] = attempt + 1
+                self.msgs_lost += 1
+                self.retries += 1  # the retransmission initiated below
+                delay = self._timeout * plan.retry_backoff ** attempt
+                self._push(t + delay, EVENT_NET_INTERNAL,
+                           ("_flt", "retry", ref, dst))
+                self.fault_events.append(self._FaultEvent(
+                    t, "loss", dst,
+                    f"d{ref[0]}v{ref[1]} attempt {attempt + 1}"))
+                return False
+            self._attempts.pop(key, None)
+        factor = plan.degradation_factor(t)
+        if factor < 1.0:
+            extra = (self.cluster.tile_bytes / self.cluster.bandwidth_Bps
+                     ) * (1.0 / factor - 1.0)
+            self.msgs_degraded += 1
+            self._push(t + extra, EVENT_NET_INTERNAL,
+                       ("_flt", "deliver", ref, dst))
+            return False
+        return True
+
+    def on_internal(self, payload, now: float) -> List[Tuple[DataRef, int]]:
+        if payload and payload[0] == "_flt":
+            op, ref, dst = payload[1], payload[2], payload[3]
+            if op == "deliver":
+                return [(ref, dst)]
+            # op == "retry"
+            if dst in self._dead:
+                return []  # consumer was re-homed; its copy is resent
+            self.fault_events.append(self._FaultEvent(
+                now, "retry", dst, f"d{ref[0]}v{ref[1]}"))
+            src = self._src.get((ref, dst), dst)
+            if src in self._dead:
+                self.storage_fetch(ref, dst, now)
+            else:
+                self.send(ref, src, dst, now)
+            return []
+        out = self.inner.on_internal(payload, now)
+        return [a for a in out if self.arrived(a[0], a[1], now)]
+
+    def stats(self) -> NetworkStats:
+        return self.inner.stats()
 
 
 #: Registered network models, by CLI/`simulate(network=...)` name.

@@ -74,6 +74,8 @@ def simulate(
     data_home: Optional[np.ndarray] = None,
     record_tasks: bool = False,
     network: Union[str, NetworkModel, None] = None,
+    faults=None,
+    recovery=None,
 ) -> ExecutionTrace:
     """Simulate the distributed execution of ``graph`` on ``cluster``.
 
@@ -96,7 +98,28 @@ def simulate(
         Communication model: ``None``/``"nic"`` (legacy, sender-side
         serialization only), ``"contention"``, or a bound-able
         :class:`~repro.runtime.network.NetworkModel` instance.
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan`, a spec string for
+        :func:`~repro.runtime.faults.parse_faults`, or ``None``.  An
+        empty plan (or ``None``) takes this fast path untouched — the
+        golden traces stay byte-identical; a non-empty plan routes to
+        :func:`~repro.runtime.faults.simulate_with_faults`.
+    recovery:
+        Re-homing policy ``recovery(failed_node, alive_nodes) ->
+        candidates`` for fault runs (see
+        :func:`~repro.runtime.faults.colrow_recovery`); ignored when
+        ``faults`` is empty.
     """
+    if faults is not None:
+        if isinstance(faults, str):
+            from .faults import parse_faults
+            faults = parse_faults(faults)
+        if faults:
+            from .faults import simulate_with_faults
+            return simulate_with_faults(
+                graph, cluster, faults, data_home=data_home,
+                record_tasks=record_tasks, network=network,
+                recovery=recovery)
     model = make_network(network)
     n_tasks = len(graph)
     if n_tasks == 0:

@@ -25,6 +25,7 @@ __all__ = [
     "extract_critical_path",
     "critical_path_breakdown",
     "comm_breakdown",
+    "fault_breakdown",
 ]
 
 
@@ -170,6 +171,45 @@ def comm_breakdown(trace: ExecutionTrace) -> Dict[str, object]:
         "n_eager": net.n_eager,
         "n_rendezvous": net.n_rendezvous,
     }
+
+
+def fault_breakdown(trace: ExecutionTrace,
+                    baseline: ExecutionTrace = None) -> Dict[str, object]:
+    """Degraded-run metrics of a fault-injected trace.
+
+    Summarizes the :class:`~repro.runtime.faults.FaultStats` attached
+    by the resilient simulator: what failed, how much state moved to
+    recover (re-homed tasks, recovery messages/bytes, resurrected
+    producers), and what the retry layer absorbed (losses, retries,
+    degraded deliveries, straggler core-seconds).  With a fault-free
+    ``baseline`` trace of the same graph/cluster, also reports
+    ``makespan_inflation`` (degraded / fault-free) and the recovery
+    traffic as a fraction of the run's total bytes.
+    """
+    fs = trace.fault_stats
+    if fs is None:
+        raise ValueError("trace has no fault stats (fault-free run?)")
+    out: Dict[str, object] = {
+        "failed_nodes": list(fs.failed_nodes),
+        "tasks_aborted": fs.tasks_aborted,
+        "tasks_rehomed": fs.tasks_rehomed,
+        "tasks_resurrected": fs.tasks_resurrected,
+        "recovery_messages": fs.recovery_messages,
+        "recovery_bytes": fs.recovery_bytes,
+        "recovery_byte_fraction": (fs.recovery_bytes / trace.bytes_sent
+                                   if trace.bytes_sent > 0 else 0.0),
+        "msgs_lost": fs.msgs_lost,
+        "retries": fs.retries,
+        "msgs_degraded": fs.msgs_degraded,
+        "straggle_s": fs.straggle_s,
+        "n_fault_events": len(fs.events),
+    }
+    if baseline is not None:
+        out["faultfree_makespan_s"] = baseline.makespan
+        out["makespan_inflation"] = (trace.makespan / baseline.makespan
+                                     if baseline.makespan > 0 else 1.0)
+        out["extra_messages"] = trace.n_messages - baseline.n_messages
+    return out
 
 
 def compute_stats(trace: ExecutionTrace, graph: TaskGraph) -> TraceStats:

@@ -11,6 +11,7 @@ import numpy as np
 from .cluster import ClusterSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultStats
     from .network import NetworkStats
 
 __all__ = ["TaskRecord", "MsgRecord", "ExecutionTrace"]
@@ -61,6 +62,7 @@ class ExecutionTrace:
     recv_messages: Optional[np.ndarray] = None  #: per-node messages received
     net_stats: Optional["NetworkStats"] = None  #: structured comm observability
     msg_records: Optional[List[MsgRecord]] = None  #: per-message tracing
+    fault_stats: Optional["FaultStats"] = None  #: degraded-run observability
 
     # ------------------------------------------------------------------
     @property
@@ -75,18 +77,37 @@ class ExecutionTrace:
 
     @property
     def utilization(self) -> float:
-        """Mean fraction of core time spent computing."""
-        cap = self.makespan * self.cluster.cores_per_node * self.cluster.nnodes
+        """Mean fraction of core *capacity* spent computing.
+
+        Heterogeneous clusters weight each node's busy seconds by its
+        relative speed against ``ClusterSpec.total_speed()`` — the
+        homogeneous formula would over-report utilization whenever slow
+        nodes (which are busy longer for the same work) dominate.  The
+        homogeneous branch keeps the original arithmetic exactly.
+        """
+        cl = self.cluster
+        if cl.node_speeds:
+            cap = self.makespan * cl.total_speed()  # core-seconds × speed
+            if cap <= 0:
+                return 0.0
+            speeds = np.asarray(cl.node_speeds, dtype=np.float64)
+            return float((self.busy_time * speeds).sum() / cap)
+        cap = self.makespan * cl.cores_per_node * cl.nnodes
         return float(self.busy_time.sum() / cap) if cap > 0 else 0.0
 
     @property
     def parallel_efficiency(self) -> float:
-        """Achieved GFlop/s over the cluster peak."""
-        peak = self.cluster.node_flops * self.cluster.nnodes / 1e9
+        """Achieved GFlop/s over the cluster peak (speed-weighted for
+        heterogeneous clusters via ``ClusterSpec.total_speed()``)."""
+        cl = self.cluster
+        if cl.node_speeds:
+            peak = cl.core_flops * cl.total_speed() / 1e9
+        else:
+            peak = cl.node_flops * cl.nnodes / 1e9
         return self.gflops / peak if peak > 0 else 0.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "makespan_s": self.makespan,
             "gflops": self.gflops,
             "gflops_per_node": self.gflops_per_node,
@@ -96,6 +117,17 @@ class ExecutionTrace:
             "n_messages": float(self.n_messages),
             "gbytes_sent": self.bytes_sent / 1e9,
         }
+        if self.fault_stats is not None:
+            fs = self.fault_stats
+            out.update({
+                "failed_nodes": float(len(fs.failed_nodes)),
+                "tasks_rehomed": float(fs.tasks_rehomed),
+                "recovery_messages": float(fs.recovery_messages),
+                "recovery_gbytes": fs.recovery_bytes / 1e9,
+                "msgs_lost": float(fs.msgs_lost),
+                "retries": float(fs.retries),
+            })
+        return out
 
     def to_canonical(self) -> Dict[str, object]:
         """Exact, serialization-stable view of the simulated outcome.
@@ -129,6 +161,10 @@ class ExecutionTrace:
                 f"{float(m.start).hex()},{float(m.end).hex()}"
                 for m in self.msg_records)
             out["msg_records_sha256"] = hashlib.sha256(blob.encode()).hexdigest()
+        if self.fault_stats is not None:
+            # only present on degraded runs, so fault-free canonical
+            # output (and every golden trace) is untouched
+            out["faults"] = self.fault_stats.to_canonical()
         return out
 
     def __repr__(self) -> str:

@@ -90,6 +90,35 @@ def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) ->
             "args": {"name": f"node {node}"},
         })
     events.extend(_counter_events(trace))
+    events.extend(_fault_events(trace))
+    return events
+
+
+def _fault_events(trace: ExecutionTrace) -> List[dict]:
+    """Instant ("i") events for every fault incident of a degraded run.
+
+    Node-scoped incidents (failures, aborts, re-homings, losses,
+    retries) land on the node's process; cluster-wide incidents (link
+    degradation windows) land on the synthetic network process.
+    """
+    if trace.fault_stats is None:
+        return []
+    events: List[dict] = []
+    for ev in trace.fault_stats.events:
+        node_scoped = ev.node >= 0
+        events.append({
+            "name": f"fault:{ev.kind}",
+            "cat": "fault",
+            "ph": "i",
+            "s": "p" if node_scoped else "g",
+            "ts": ev.time * 1e6,
+            "pid": ev.node if node_scoped else NETWORK_PID,
+            "tid": 0,
+            "args": {"detail": ev.detail},
+        })
+    if any(e.node < 0 for e in trace.fault_stats.events) and not trace.msg_records:
+        events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
+                       "args": {"name": f"network ({trace.network})"}})
     return events
 
 

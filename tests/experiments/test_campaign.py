@@ -90,6 +90,55 @@ class TestRunner:
         assert "msg pred" in text and "msg sim" in text
 
 
+class TestFaultsAxis:
+    FAULT = "fail:1@1e-5,loss:0.05,seed:3"
+
+    def test_faults_expand_cells(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              faults=["", self.FAULT])
+        assert len(cells) == 2
+        assert {c.faults for c in cells} == {"", self.FAULT}
+
+    def test_bad_fault_spec_rejected_at_plan_time(self):
+        with pytest.raises(ValueError):
+            plan_campaign(["g2dbc"], Ps=[5], ms=[6], faults=["explode:1"])
+
+    def test_signature_distinguishes_faults(self):
+        a = CampaignCell("g2dbc", "lu", 5, 6)
+        b = CampaignCell("g2dbc", "lu", 5, 6, faults=self.FAULT)
+        assert a.signature() != b.signature()
+
+    def test_faulted_rows_populated(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              faults=["", self.FAULT])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        clean = next(r for r in rows if not r.faults)
+        faulty = next(r for r in rows if r.faults)
+        assert clean.makespan_inflation == 1.0
+        assert clean.failed_nodes == 0
+        assert faulty.failed_nodes == 1
+        assert faulty.faultfree_makespan_s == pytest.approx(clean.makespan_s)
+        assert faulty.makespan_inflation >= 1.0 - 1e-9
+        assert faulty.makespan_s >= faulty.faultfree_makespan_s - 1e-9
+        assert faulty.retries == faulty.msgs_lost
+
+    def test_faulted_campaign_jobs_independent(self):
+        cells = plan_campaign(["g2dbc", "gcrm"], Ps=[5], ms=[6],
+                              faults=["", self.FAULT])
+        serial = run_campaign(cells, jobs=1, tile_size=TILE)
+        parallel = run_campaign(cells, jobs=2, tile_size=TILE)
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+    def test_format_shows_fault_columns_only_when_present(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              faults=["", self.FAULT])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        text = format_campaign(rows)
+        assert "infl" in text and "lost" in text
+        clean = [r for r in rows if not r.faults]
+        assert "infl" not in format_campaign(clean)
+
+
 class TestJobsIndependence:
     """Property (satellite 3): campaign rows do not depend on ``jobs``."""
 

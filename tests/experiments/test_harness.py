@@ -64,3 +64,38 @@ class TestSweep:
     def test_worse_pattern_more_messages(self):
         rows = sweep({"good": bc2d(2, 2), "bad": bc2d(4, 1)}, [12], "lu", tile_size=100)
         assert rows[0].n_messages < rows[1].n_messages
+
+    def test_network_forwarded(self):
+        # regression: sweep accepted runs under any network but always
+        # simulated with the default NIC model
+        nic = sweep({"a": bc2d(2, 2)}, [8], "lu", tile_size=100,
+                    network="nic")
+        cont = sweep({"a": bc2d(2, 2)}, [8], "lu", tile_size=100,
+                     network="contention")
+        base = sweep({"a": bc2d(2, 2)}, [8], "lu", tile_size=100)
+        assert nic[0].makespan_s == base[0].makespan_s
+        assert cont[0].makespan_s != nic[0].makespan_s
+
+    def test_network_matches_direct_run(self):
+        rows = sweep({"a": bc2d(2, 2)}, [8], "lu", tile_size=100,
+                     network="contention")
+        tr = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100,
+                               network="contention")
+        assert rows[0].makespan_s == tr.makespan
+
+
+class TestFaultedRuns:
+    def test_run_factorization_with_faults(self):
+        base = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100)
+        tr = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100,
+                               faults=f"fail:1@{base.makespan / 3:g}")
+        assert tr.fault_stats is not None
+        assert tr.fault_stats.failed_nodes == (1,)
+        assert tr.makespan >= base.makespan
+        assert tr.n_tasks == base.n_tasks
+
+    def test_empty_faults_spec_is_fault_free(self):
+        base = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100)
+        tr = run_factorization(bc2d(2, 2), 8, "lu", tile_size=100, faults="")
+        assert tr.fault_stats is None
+        assert tr.to_canonical() == base.to_canonical()

@@ -14,6 +14,7 @@ from repro.patterns.io import (
     save_database,
     save_pattern,
 )
+from repro.patterns.base import PatternError
 from repro.patterns.sbc import sbc
 
 
@@ -53,3 +54,89 @@ class TestDatabase:
         loaded = load_database(path)
         assert set(loaded) == {5, 10, 23}
         assert loaded[23] == db[23]
+
+
+class TestMalformedInput:
+    """Every malformed shape raises ``PatternError`` naming the file."""
+
+    def _write(self, tmp_path, payload) -> str:
+        path = tmp_path / "bad.json"
+        path.write_text(payload if isinstance(payload, str)
+                        else json.dumps(payload))
+        return str(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = self._write(tmp_path, "{not json")
+        with pytest.raises(PatternError, match="invalid JSON") as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    def test_not_an_object(self, tmp_path):
+        path = self._write(tmp_path, [1, 2, 3])
+        with pytest.raises(PatternError, match="JSON object") as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    @pytest.mark.parametrize("missing", ["grid", "nnodes"])
+    def test_missing_required_key(self, tmp_path, missing):
+        data = {"grid": [[0]], "nnodes": 1}
+        del data[missing]
+        path = self._write(tmp_path, data)
+        with pytest.raises(PatternError, match=missing) as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    def test_ragged_grid(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [[0, 1], [2]], "nnodes": 3})
+        with pytest.raises(PatternError, match="ragged") as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    def test_empty_grid(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [], "nnodes": 1})
+        with pytest.raises(PatternError, match="non-empty"):
+            load_pattern(path)
+
+    def test_non_integer_cell(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [[0, "x"]], "nnodes": 2})
+        with pytest.raises(PatternError, match=r"grid\[0\]\[1\]") as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    def test_bool_cell_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [[0, True]], "nnodes": 2})
+        with pytest.raises(PatternError, match=r"grid\[0\]\[1\]"):
+            load_pattern(path)
+
+    def test_bad_nnodes(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [[0]], "nnodes": "many"})
+        with pytest.raises(PatternError, match="positive integer"):
+            load_pattern(path)
+
+    def test_nnodes_grid_mismatch(self, tmp_path):
+        path = self._write(tmp_path, {"grid": [[0, 5]], "nnodes": 3})
+        with pytest.raises(PatternError, match="references node 5") as exc:
+            load_pattern(path)
+        assert path in str(exc.value)
+
+    def test_database_bad_key(self, tmp_path):
+        path = self._write(tmp_path, {"abc": {"grid": [[0]], "nnodes": 1}})
+        with pytest.raises(PatternError, match="not an integer P") as exc:
+            load_database(path)
+        assert path in str(exc.value)
+
+    def test_database_nnodes_mismatch(self, tmp_path):
+        path = self._write(tmp_path, {"4": {"grid": [[0, 1]], "nnodes": 2}})
+        with pytest.raises(PatternError, match="nnodes=2 under key 4") as exc:
+            load_database(path)
+        assert f"{path}[4]" in str(exc.value)
+
+    def test_database_entry_error_names_key(self, tmp_path):
+        path = self._write(tmp_path, {"2": {"grid": [[0], [1, 1]], "nnodes": 2}})
+        with pytest.raises(PatternError, match="ragged") as exc:
+            load_database(path)
+        assert f"{path}[2]" in str(exc.value)
+
+    def test_pattern_from_dict_without_context(self):
+        with pytest.raises(PatternError, match="missing required key"):
+            pattern_from_dict({"grid": [[0]]})

@@ -37,6 +37,30 @@ class TestClusterSpec:
         with pytest.raises(Exception):
             c.nnodes = 5
 
+    def test_with_nodes_truncates_heterogeneous_speeds(self):
+        # regression: resizing used to carry the full node_speeds tuple,
+        # so total_speed() counted ghosts of removed nodes
+        c = ClusterSpec(nnodes=4, cores_per_node=1,
+                        node_speeds=(1.0, 2.0, 3.0, 4.0))
+        small = c.with_nodes(2)
+        assert small.node_speeds == (1.0, 2.0)
+        assert small.total_speed() == pytest.approx(3.0)
+
+    def test_with_nodes_cycles_heterogeneous_speeds(self):
+        c = ClusterSpec(nnodes=2, cores_per_node=1, node_speeds=(1.0, 2.0))
+        big = c.with_nodes(5)
+        assert big.node_speeds == (1.0, 2.0, 1.0, 2.0, 1.0)
+        assert big.total_speed() == pytest.approx(7.0)
+
+    def test_with_nodes_homogeneous_unchanged(self):
+        c = paper_cluster(4)
+        assert c.with_nodes(9).node_speeds == ()
+        assert c.with_nodes(9).total_speed() == pytest.approx(9 * c.cores_per_node)
+
+    def test_with_nodes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            paper_cluster(4).with_nodes(0)
+
 
 class TestPaperCluster:
     def test_matches_platform_description(self):

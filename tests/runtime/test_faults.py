@@ -1,0 +1,492 @@
+"""Fault-injection and resilience tests.
+
+Two contracts are pinned here:
+
+1. **Fault-free equivalence** — ``simulate(faults=None)`` and an empty
+   ``FaultPlan`` reproduce the committed golden traces byte-for-byte
+   (no ``REGEN_GOLDEN``), and ``simulate_with_faults`` with an empty
+   plan is canonical-equal to the fast path for every golden case and
+   both network models.
+2. **Degraded-run semantics** — fail-stop re-homing onto colrow peers,
+   retry-after-loss accounting (``retries == msgs_lost``), straggler
+   and degradation slowdowns, and bit-for-bit determinism of seeded
+   plans.
+
+``derandomize=True`` keeps the Hypothesis parts reproducible in CI.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import build_cholesky_graph
+from repro.dla.lu import build_lu_graph
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import feasible_sizes, gcrm
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.faults import (
+    FaultPlan,
+    LinkDegradation,
+    NodeFailure,
+    StragglerWindow,
+    colrow_recovery,
+    parse_faults,
+    recovery_peers,
+    simulate_with_faults,
+)
+from repro.runtime.simulator import SimulationError, simulate
+from repro.runtime.stats import fault_breakdown
+from repro.runtime.tracefmt import to_chrome_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+TILE = 8
+NETWORKS = ("nic", "contention")
+
+
+def golden_cluster(P: int) -> ClusterSpec:
+    return ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                       bandwidth_Bps=1e9, latency_s=1e-6, tile_size=TILE)
+
+
+def lu_case(P: int, m: int = 8):
+    dist = TileDistribution(g2dbc(P), m, symmetric=False)
+    return build_lu_graph(dist, TILE)
+
+
+def cholesky_case(P: int, m: int = 8):
+    pat = gcrm(P, feasible_sizes(P)[0], seed=0).pattern
+    dist = TileDistribution(pat, m, symmetric=True)
+    return build_cholesky_graph(dist, TILE), pat
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / parse_faults
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().empty
+        assert not parse_faults("")
+        assert not parse_faults(None)
+
+    def test_nonempty_plans_are_truthy(self):
+        assert FaultPlan(failures=(NodeFailure(0, 1.0),))
+        assert FaultPlan(stragglers=(StragglerWindow(0, 0.0, 1.0, 0.5),))
+        assert FaultPlan(degradations=(LinkDegradation(0.0, 1.0, 0.5),))
+        assert FaultPlan(msg_loss_prob=0.1)
+
+    def test_parse_full_grammar(self):
+        plan = parse_faults("fail:2@0.05, slow:1@0.0-0.1x0.5,"
+                            "degrade:0.2-0.3x0.25,loss:0.01,seed:7,"
+                            "timeout:0.001,backoff:3,retries:4")
+        assert plan.failures == (NodeFailure(2, 0.05),)
+        assert plan.stragglers == (StragglerWindow(1, 0.0, 0.1, 0.5),)
+        assert plan.degradations == (LinkDegradation(0.2, 0.3, 0.25),)
+        assert plan.msg_loss_prob == 0.01
+        assert plan.seed == 7
+        assert plan.retry_timeout_s == 0.001
+        assert plan.retry_backoff == 3.0
+        assert plan.max_retries == 4
+
+    @pytest.mark.parametrize("bad", [
+        "explode:1", "fail:1", "fail:x@0.1", "slow:1@0.5x2", "loss:nope",
+        "degrade:0.1x0.5", "fail:1@",
+    ])
+    def test_parse_rejects_bad_directives(self, bad):
+        with pytest.raises(ValueError):
+            parse_faults(bad)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(msg_loss_prob=1.0),
+        dict(msg_loss_prob=-0.1),
+        dict(retry_backoff=0.5),
+        dict(max_retries=-1),
+        dict(retry_timeout_s=0.0),
+        dict(failures=(NodeFailure(-1, 0.0),)),
+        dict(stragglers=(StragglerWindow(0, 1.0, 0.5, 0.5),)),
+        dict(stragglers=(StragglerWindow(0, 0.0, 1.0, 0.0),)),
+        dict(degradations=(LinkDegradation(1.0, 0.5, 0.5),)),
+    ])
+    def test_plan_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_window_factors_compose(self):
+        plan = FaultPlan(stragglers=(StragglerWindow(1, 0.0, 1.0, 0.5),
+                                     StragglerWindow(1, 0.5, 2.0, 0.5)),
+                         degradations=(LinkDegradation(0.0, 1.0, 0.5),))
+        assert plan.speed_factor(1, 0.25) == 0.5
+        assert plan.speed_factor(1, 0.75) == 0.25   # overlapping windows
+        assert plan.speed_factor(1, 1.5) == 0.5
+        assert plan.speed_factor(0, 0.25) == 1.0    # other node untouched
+        assert plan.speed_factor(1, 2.0) == 1.0     # end-exclusive
+        assert plan.degradation_factor(0.5) == 0.5
+        assert plan.degradation_factor(1.0) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Fault-free equivalence (the golden-trace invariant)
+# ---------------------------------------------------------------------------
+class TestFaultFreeEquivalence:
+    @pytest.mark.parametrize("P", [5, 7, 12])
+    def test_empty_plan_matches_golden_traces(self, P):
+        """``faults=FaultPlan()`` routes to the untouched fast path and
+        reproduces the committed golden bytes for both networks."""
+        m = 8
+        cluster = golden_cluster(P)
+        expected = json.loads((GOLDEN_DIR / f"P{P}_m{m}.json").read_text())
+        graph, home = lu_case(P, m)
+        for net in NETWORKS:
+            trace = simulate(graph, cluster, data_home=home, record_tasks=True,
+                             network=net, faults=FaultPlan())
+            assert trace.to_canonical() == expected["lu"][net]
+            trace = simulate(graph, cluster, data_home=home, record_tasks=True,
+                             network=net, faults="")
+            assert trace.to_canonical() == expected["lu"][net]
+
+    @pytest.mark.parametrize("P", [5, 7, 12])
+    @pytest.mark.parametrize("net", NETWORKS)
+    @pytest.mark.parametrize("kernel", ["lu", "cholesky"])
+    def test_resilient_loop_matches_fast_path(self, P, net, kernel):
+        """``simulate_with_faults`` with an **empty** plan walks the
+        resilient event loop yet emits a canonical trace equal to the
+        fast path — the machinery itself is schedule-neutral."""
+        cluster = golden_cluster(P)
+        if kernel == "lu":
+            graph, home = lu_case(P)
+        else:
+            (graph, home), _ = cholesky_case(P)
+        for record in (False, True):
+            base = simulate(graph, cluster, data_home=home,
+                            record_tasks=record, network=net)
+            resil = simulate_with_faults(graph, cluster, FaultPlan(),
+                                         data_home=home, record_tasks=record,
+                                         network=net)
+            assert resil.fault_stats is None
+            assert resil.to_canonical() == base.to_canonical()
+
+    def test_empty_plan_no_fault_keys(self):
+        cluster = golden_cluster(5)
+        graph, home = lu_case(5)
+        trace = simulate(graph, cluster, data_home=home, faults=FaultPlan())
+        assert "faults" not in trace.to_canonical()
+        assert "retries" not in trace.summary()
+
+
+# ---------------------------------------------------------------------------
+# Fail-stop recovery
+# ---------------------------------------------------------------------------
+class TestFailStop:
+    def test_mid_run_failure_recovers(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=f"fail:2@{base.makespan / 4:g}",
+                         record_tasks=True)
+        fs = trace.fault_stats
+        assert fs is not None
+        assert fs.failed_nodes == (2,)
+        assert fs.tasks_rehomed > 0
+        assert fs.recovery_messages > 0
+        assert fs.recovery_bytes == fs.recovery_messages * cluster.tile_bytes
+        assert trace.makespan > base.makespan
+        assert trace.n_tasks == base.n_tasks
+        # no task record survives on the dead node after the failure time
+        fail_t = base.makespan / 4
+        assert all(r.end <= fail_t or r.node != 2 for r in trace.task_records)
+
+    def test_failure_with_colrow_recovery_stays_in_peer_set(self):
+        P = 7
+        (graph, home), pat = cholesky_case(P)
+        cluster = golden_cluster(P)
+        base = simulate(graph, cluster, data_home=home)
+        peers = set(recovery_peers(pat, 0))
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=f"fail:0@{base.makespan / 3:g}",
+                         recovery=colrow_recovery(pat), record_tasks=True)
+        after = {r.node for r in trace.task_records
+                 if r.start >= base.makespan / 3}
+        assert 0 not in after
+        # every re-executed task landed on a surviving node; when all
+        # colrow peers are alive the re-homes stay inside that set
+        assert after <= set(range(P)) - {0}
+        assert peers, "gcrm colrow peers must be non-empty"
+
+    def test_two_failures(self):
+        P = 7
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home)
+        spec = f"fail:1@{base.makespan / 5:g},fail:4@{base.makespan / 2:g}"
+        trace = simulate(graph, cluster, data_home=home, faults=spec)
+        assert trace.fault_stats.failed_nodes == (1, 4)
+        assert trace.makespan >= base.makespan
+
+    def test_failure_before_start_rehomes_everything(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        trace = simulate(graph, cluster, data_home=home, faults="fail:3@0.0")
+        fs = trace.fault_stats
+        owned = sum(1 for n in graph.columns.node.tolist() if n == 3)
+        assert fs.tasks_rehomed == owned
+        assert fs.tasks_aborted == 0
+
+    def test_failure_after_completion_changes_nothing_but_stats(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home, record_tasks=True)
+        trace = simulate(graph, cluster, data_home=home, record_tasks=True,
+                         faults=f"fail:2@{base.makespan * 10:g}")
+        assert trace.makespan == base.makespan
+        assert trace.fault_stats.tasks_rehomed == 0
+        blob = {k: v for k, v in trace.to_canonical().items() if k != "faults"}
+        assert blob == base.to_canonical()
+
+    def test_all_nodes_failing_raises(self):
+        P = 3
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        spec = ",".join(f"fail:{n}@1e-7" for n in range(P))
+        with pytest.raises(SimulationError, match="all nodes failed"):
+            simulate(graph, cluster, data_home=home, faults=spec)
+
+    def test_failing_unknown_node_raises(self):
+        cluster = golden_cluster(5)
+        graph, home = lu_case(5)
+        with pytest.raises(SimulationError, match="fails node 9"):
+            simulate(graph, cluster, data_home=home, faults="fail:9@0.1")
+
+
+# ---------------------------------------------------------------------------
+# Loss / retry / straggler / degradation
+# ---------------------------------------------------------------------------
+class TestTransientFaults:
+    @pytest.mark.parametrize("net", NETWORKS)
+    def test_losses_are_retried_and_run_completes(self, net):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home, network=net)
+        trace = simulate(graph, cluster, data_home=home, network=net,
+                         faults="loss:0.1,seed:3")
+        fs = trace.fault_stats
+        assert fs.msgs_lost > 0
+        assert fs.retries == fs.msgs_lost
+        assert trace.makespan >= base.makespan
+        assert trace.n_tasks == base.n_tasks
+
+    def test_straggler_slows_the_run(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=f"slow:1@0.0-{base.makespan * 2:g}x0.25")
+        fs = trace.fault_stats
+        assert fs.straggle_s > 0
+        assert trace.makespan > base.makespan
+
+    @pytest.mark.parametrize("net", NETWORKS)
+    def test_degradation_window_stretches_deliveries(self, net):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home, network=net)
+        trace = simulate(graph, cluster, data_home=home, network=net,
+                         faults=f"degrade:0.0-{base.makespan * 2:g}x0.25")
+        fs = trace.fault_stats
+        assert fs.msgs_degraded > 0
+        assert trace.makespan > base.makespan
+
+    def test_heterogeneous_cluster_with_faults(self):
+        P = 5
+        cluster = ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                              bandwidth_Bps=1e9, latency_s=1e-6, tile_size=TILE,
+                              node_speeds=(1.0, 2.0, 1.0, 0.5, 1.0))
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=f"fail:1@{base.makespan / 4:g}")
+        assert trace.fault_stats.failed_nodes == (1,)
+        assert trace.makespan > base.makespan
+
+
+# ---------------------------------------------------------------------------
+# Determinism + observability
+# ---------------------------------------------------------------------------
+FAULT_SPEC = "fail:1@2e-5,loss:0.05,seed:11,slow:0@0.0-5e-5x0.5"
+
+
+class TestDeterminismAndObservability:
+    @pytest.mark.parametrize("net", NETWORKS)
+    def test_seeded_plans_are_bit_deterministic(self, net):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        a = simulate(graph, cluster, data_home=home, network=net,
+                     record_tasks=True, faults=FAULT_SPEC)
+        b = simulate(graph, cluster, data_home=home, network=net,
+                     record_tasks=True, faults=FAULT_SPEC)
+        assert a.to_canonical() == b.to_canonical()
+
+    def test_different_seeds_differ(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        a = simulate(graph, cluster, data_home=home, faults="loss:0.1,seed:1")
+        b = simulate(graph, cluster, data_home=home, faults="loss:0.1,seed:2")
+        assert (a.fault_stats.msgs_lost != b.fault_stats.msgs_lost
+                or a.makespan != b.makespan)
+
+    def test_fault_breakdown_and_summary(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home, faults=FAULT_SPEC)
+        fb = fault_breakdown(trace, baseline=base)
+        assert fb["failed_nodes"] == [1]
+        assert fb["makespan_inflation"] == trace.makespan / base.makespan
+        assert fb["retries"] == fb["msgs_lost"]
+        assert fb["recovery_byte_fraction"] >= 0.0
+        s = trace.summary()
+        assert s["failed_nodes"] == 1.0
+        assert s["retries"] == float(fb["retries"])
+        with pytest.raises(ValueError, match="no fault stats"):
+            fault_breakdown(base)
+
+    def test_canonical_fault_section(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        trace = simulate(graph, cluster, data_home=home, faults=FAULT_SPEC)
+        blob = trace.to_canonical()["faults"]
+        assert blob["failed_nodes"] == [1]
+        assert blob["retries"] == blob["msgs_lost"]
+        assert len(blob["events_sha256"]) == 64
+
+    def test_chrome_trace_carries_fault_instants(self):
+        P = 5
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P)
+        trace = simulate(graph, cluster, data_home=home, record_tasks=True,
+                         faults=FAULT_SPEC)
+        events = to_chrome_trace(trace, graph)
+        instants = [e for e in events if e.get("cat") == "fault"]
+        assert instants, "degraded traces must render fault events"
+        kinds = {e["name"] for e in instants}
+        assert "fault:fail" in kinds
+        assert all(e["ph"] == "i" for e in instants)
+        # fault-free traces render none
+        base = simulate(graph, cluster, data_home=home, record_tasks=True)
+        assert not [e for e in to_chrome_trace(base, graph)
+                    if e.get("cat") == "fault"]
+
+
+# ---------------------------------------------------------------------------
+# Recovery-policy unit tests
+# ---------------------------------------------------------------------------
+class TestRecoveryPolicy:
+    def test_recovery_peers_square(self):
+        (_, _), pat = cholesky_case(5)
+        for node in range(pat.nnodes):
+            peers = recovery_peers(pat, node)
+            assert node not in peers
+            assert all(0 <= p < pat.nnodes for p in peers)
+
+    def test_recovery_peers_rectangular(self):
+        pat = g2dbc(5)
+        peers = recovery_peers(pat, 0)
+        assert peers and 0 not in peers
+
+    def test_colrow_recovery_filters_dead(self):
+        (_, _), pat = cholesky_case(5)
+        policy = colrow_recovery(pat)
+        alive = [1, 3]
+        out = policy(0, alive)
+        assert out and set(out) <= set(alive)
+
+    def test_colrow_recovery_falls_back_to_alive(self):
+        (_, _), pat = cholesky_case(5)
+        policy = colrow_recovery(pat)
+        peers = set(recovery_peers(pat, 0))
+        alive = sorted(set(range(5)) - peers - {0})
+        if alive:  # peers may cover everyone; then nothing to test
+            assert policy(0, alive) == alive
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+@st.composite
+def small_case(draw):
+    P = draw(st.sampled_from([3, 5]))
+    m = draw(st.sampled_from([5, 6]))
+    return P, m
+
+
+class TestFaultProperties:
+    @given(case=small_case(), node=st.integers(0, 2),
+           frac=st.floats(0.05, 0.9))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_failstop_makespan_dominates_fault_free(self, case, node, frac):
+        """A fail-stop loss never speeds the run up: the survivors do
+        strictly more work over fewer cores."""
+        P, m = case
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P, m)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=FaultPlan(failures=(
+                             NodeFailure(node % P, base.makespan * frac),)))
+        assert trace.makespan >= base.makespan - 1e-12
+        assert trace.busy_time.sum() >= base.busy_time.sum() - 1e-12
+
+    @given(case=small_case(), p=st.floats(0.01, 0.3),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_every_loss_is_retried(self, case, p, seed):
+        P, m = case
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P, m)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=FaultPlan(msg_loss_prob=p, seed=seed))
+        fs = trace.fault_stats
+        assert fs.retries == fs.msgs_lost
+        assert trace.makespan >= base.makespan - 1e-12
+        assert trace.n_tasks == base.n_tasks
+
+    @given(case=small_case(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_seed_determinism(self, case, seed):
+        P, m = case
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P, m)
+        plan = FaultPlan(msg_loss_prob=0.1, seed=seed,
+                         failures=(NodeFailure(0, 1e-5),))
+        a = simulate(graph, cluster, data_home=home, record_tasks=True,
+                     faults=plan)
+        b = simulate(graph, cluster, data_home=home, record_tasks=True,
+                     faults=plan)
+        assert a.to_canonical() == b.to_canonical()
+
+    @given(case=small_case(), factor=st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_degradation_never_speeds_up(self, case, factor):
+        P, m = case
+        cluster = golden_cluster(P)
+        graph, home = lu_case(P, m)
+        base = simulate(graph, cluster, data_home=home)
+        trace = simulate(graph, cluster, data_home=home,
+                         faults=FaultPlan(degradations=(
+                             LinkDegradation(0.0, base.makespan * 2, factor),)))
+        assert trace.makespan >= base.makespan - 1e-12

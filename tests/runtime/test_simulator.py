@@ -171,6 +171,49 @@ class TestTraceMetrics:
         g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
         assert "makespan" in repr(simulate(g, cluster(1)))
 
+    def test_heterogeneous_utilization_speed_weighted(self):
+        # regression: utilization used makespan * nnodes * cores as
+        # capacity, over-reporting whenever busy slow nodes dominate
+        het = ClusterSpec(nnodes=2, cores_per_node=1, core_gflops=1.0,
+                          bandwidth_Bps=1e9, latency_s=0.0, tile_size=10,
+                          node_speeds=(1.0, 3.0))
+        g = TaskGraph(n_data=1, nnodes=2)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 1, 1e9, (g.current(0),), 0)
+        tr = simulate(g, het)
+        # node 1 runs 1/3 s at speed 3 while node 0 idles: weighted
+        # busy = 1, capacity = (1/3) * (1 + 3)
+        assert tr.makespan == pytest.approx(1 / 3)
+        assert tr.utilization == pytest.approx(0.75)
+
+    def test_heterogeneous_utilization_saturated_is_one(self):
+        het = ClusterSpec(nnodes=2, cores_per_node=1, core_gflops=1.0,
+                          bandwidth_Bps=1e9, latency_s=0.0, tile_size=10,
+                          node_speeds=(1.0, 3.0))
+        g = TaskGraph(n_data=2, nnodes=2)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        g.submit(TaskKind.GEMM, 1, 0, 0, 1, 3e9, (g.current(1),), 1)
+        tr = simulate(g, het)  # both nodes finish at t=1
+        assert tr.utilization == pytest.approx(1.0)
+        assert tr.parallel_efficiency == pytest.approx(1.0)
+
+    def test_heterogeneous_parallel_efficiency_bounded(self):
+        het = ClusterSpec(nnodes=3, cores_per_node=2, core_gflops=1.0,
+                          bandwidth_Bps=1e9, latency_s=0.0, tile_size=10,
+                          node_speeds=(0.5, 1.0, 2.0))
+        g = TaskGraph(n_data=3, nnodes=3)
+        for d in range(3):
+            g.submit(TaskKind.GEMM, d, 0, 0, d, 1e9, (g.current(d),), d)
+        tr = simulate(g, het)
+        assert 0 < tr.parallel_efficiency <= 1.0
+        assert 0 < tr.utilization <= 1.0
+
+    def test_homogeneous_metrics_unchanged(self):
+        g = TaskGraph(n_data=1, nnodes=1)
+        g.submit(TaskKind.GEMM, 0, 0, 0, 0, 1e9, (g.current(0),), 0)
+        tr = simulate(g, cluster(1, cores=2))
+        assert tr.utilization == pytest.approx(0.5)
+        assert tr.parallel_efficiency == pytest.approx(0.5)
+
 
 class TestSchedulerPolicies:
     def _lu_makespan(self, policy, n=12):

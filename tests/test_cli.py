@@ -91,6 +91,41 @@ class TestSimulateCommand:
         assert main(["simulate", "-P", "10", "--tiles", "8", "--tile-size", "100",
                      "--kernel", "cholesky", "--seeds", "3"]) == 0
 
+    def test_faults_flag_prints_degraded_block(self, capsys):
+        assert main(["simulate", "-P", "6", "--tiles", "8",
+                     "--tile-size", "100", "--kernel", "lu",
+                     "--faults", "fail:1@1e-4,loss:0.05,seed:3"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded run" in out
+        assert "makespan_inflation" in out
+        assert "failed_nodes" in out
+
+    def test_bad_faults_spec_fails(self, capsys):
+        with pytest.raises(ValueError):
+            main(["simulate", "-P", "6", "--tiles", "8",
+                  "--tile-size", "100", "--faults", "explode:now"])
+
+    def test_no_faults_no_degraded_block(self, capsys):
+        assert main(["simulate", "-P", "6", "--tiles", "8",
+                     "--tile-size", "100", "--kernel", "lu"]) == 0
+        assert "degraded run" not in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_smoke(self, capsys):
+        assert main(["campaign", "--families", "g2dbc", "-P", "5",
+                     "--tiles", "6", "--tile-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "msg pred" in out and "g2dbc" in out
+
+    def test_faults_axis(self, capsys):
+        assert main(["campaign", "--families", "g2dbc", "-P", "5",
+                     "--tiles", "6", "--tile-size", "8",
+                     "--faults", "", "fail:1@1e-5,seed:2"]) == 0
+        out = capsys.readouterr().out
+        assert "infl" in out  # predicted-vs-degraded columns present
+        assert "fail:1@1e-5" in out
+
 
 class TestDbCommand:
     def test_writes_database(self, tmp_path, capsys):
