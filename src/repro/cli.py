@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro simulate --nodes 23 --tiles 48 --kernel lu --network contention
     python -m repro campaign --families g2dbc gcrm --nodes 5 7 --tiles 16 24 \
         --networks nic contention --jobs 2
+    python -m repro store precompute --dir shards --range 2 200 --kernel lu
+    python -m repro store query      --dir shards --nodes 23 57 131 --stats
     python -m repro db       --max-nodes 44 --kernel cholesky --out db.json
     python -m repro validate --tiles 12 --kernel cholesky
 
@@ -56,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-prune", action="store_true",
                        help="evaluate every feasible pattern size instead of "
                             "stopping near the sqrt(3P/2) cost floor")
+        p.add_argument("--delta", action="store_true",
+                       help="score GCR&M candidates with the incremental "
+                            "delta evaluator (bit-identical winners)")
 
     p = sub.add_parser("pattern", help="build and inspect a pattern")
     p.add_argument("--nodes", "-P", type=int, required=True)
@@ -64,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=20, help="GCR&M search budget")
     p.add_argument("--show", action="store_true", help="print the grid")
     p.add_argument("--save", metavar="FILE", default=None, help="write JSON")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="pattern-store directory: serve from it when warm, "
+                        "persist the result otherwise")
     add_search_flags(p)
 
     p = sub.add_parser("cost", help="compare pattern families for one P")
@@ -110,6 +118,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "of every cell ('' = fault-free)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the rows as CSV")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="pattern-store directory (read-only in workers): "
+                        "serve each family's patterns from warmed shards")
+
+    p = sub.add_parser("store",
+                       help="disk-backed pattern store (shards + LRU)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def add_store_flags(sp):
+        sp.add_argument("--dir", metavar="DIR", required=True,
+                        help="store directory holding the npz shards")
+        sp.add_argument("--kernel", choices=("lu", "cholesky"),
+                        default="cholesky")
+        sp.add_argument("--family", default="best",
+                        help="pattern family key ('best' = the per-kernel "
+                             "recommendation of best_pattern)")
+        sp.add_argument("--budget", type=int, default=20,
+                        help="GCR&M search seeds per node count")
+        sp.add_argument("--shard-size", type=int, default=32, metavar="N",
+                        help="node counts per shard file")
+        sp.add_argument("--jobs", "-j", type=jobs_count, default=1,
+                        metavar="N")
+        sp.add_argument("--stats", action="store_true",
+                        help="print hot/cold tier counters afterwards")
+
+    sp = store_sub.add_parser(
+        "precompute", help="warm shards for a node-count range")
+    sp.add_argument("--nodes", "-P", nargs="+", type=int, default=None,
+                    metavar="P", help="explicit node counts")
+    sp.add_argument("--range", nargs=2, type=int, default=None,
+                    metavar=("LO", "HI"), help="inclusive node-count range")
+    sp.add_argument("--force", action="store_true",
+                    help="recompute node counts already in the store")
+    add_store_flags(sp)
+
+    sp = store_sub.add_parser(
+        "query", help="batched lookup (falls back to a live search)")
+    sp.add_argument("--nodes", "-P", nargs="+", type=int, required=True,
+                    metavar="P")
+    sp.add_argument("--no-write-back", action="store_true",
+                    help="do not persist live-search fallbacks")
+    add_store_flags(sp)
 
     p = sub.add_parser("db", help="precompute a pattern database")
     p.add_argument("--max-nodes", type=int, required=True)
@@ -133,12 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _search_kwargs(args) -> dict:
-    """Translate --jobs/--no-prune into gcrm_search keywords."""
+    """Translate --jobs/--no-prune/--delta into gcrm_search keywords."""
     kw = {}
     if getattr(args, "jobs", None) is not None:
         kw["jobs"] = args.jobs
     if getattr(args, "no_prune", False):
         kw["prune"] = False
+    if getattr(args, "delta", False):
+        kw["delta"] = True
     return kw
 
 
@@ -149,6 +201,10 @@ def _get_pattern(args) -> Pattern:
     kernel = getattr(args, "kernel", "lu")
     if kernel == "cholesky" or args.family == "gcrm":
         kw.update(_search_kwargs(args))
+    if getattr(args, "store", None):
+        from .patterns.store import PatternStore
+
+        kw["store"] = PatternStore(args.store)
     return best_pattern(args.nodes, kernel=kernel, family=args.family, **kw)
 
 
@@ -242,7 +298,8 @@ def cmd_campaign(args) -> int:
     if not cells:
         print("no feasible cells in the requested grid")
         return 1
-    rows = run_campaign(cells, jobs=args.jobs, tile_size=args.tile_size)
+    rows = run_campaign(cells, jobs=args.jobs, tile_size=args.tile_size,
+                        store_dir=args.store)
     print(format_campaign(rows))
     if args.out:
         records = [r.as_dict() for r in rows]
@@ -251,6 +308,42 @@ def cmd_campaign(args) -> int:
             writer.writeheader()
             writer.writerows(records)
         print(f"\nwrote {len(records)} rows to {args.out}")
+    return 0
+
+
+def cmd_store(args) -> int:
+    from .patterns.store import PatternStore
+
+    store = PatternStore(args.dir, shard_size=args.shard_size)
+    if args.store_command == "precompute":
+        if (args.nodes is None) == (args.range is None):
+            print("store precompute needs exactly one of --nodes / --range",
+                  file=sys.stderr)
+            return 2
+        Ps = args.nodes if args.nodes is not None \
+            else list(range(args.range[0], args.range[1] + 1))
+        summary = store.precompute(Ps, kernel=args.kernel, budget=args.budget,
+                                   family=args.family, jobs=args.jobs,
+                                   force=args.force)
+        print(f"computed {summary['computed']} patterns "
+              f"({summary['skipped']} already stored) into "
+              f"{len(summary['shards'])} shard(s) under {args.dir}")
+    else:
+        pats = store.patterns_for(args.nodes, kernel=args.kernel,
+                                  budget=args.budget, family=args.family,
+                                  jobs=args.jobs,
+                                  write_back=not args.no_write_back)
+        print(f"{'P':>6} {'shape':>9} {'T':>8}  name")
+        for P, pat in zip(args.nodes, pats):
+            print(f"{P:>6} {f'{pat.nrows}x{pat.ncols}':>9} "
+                  f"{pat.cost(args.kernel):>8.4f}  {pat.name}")
+    if args.stats:
+        s = store.stats()
+        print(f"hot hits {s.hot_hits}, cold hits {s.cold_hits}, "
+              f"misses {s.misses}, fallbacks {s.fallbacks}, "
+              f"shards read/written {s.shards_read}/{s.shards_written}, "
+              f"hot tier {s.hot.currsize}/{s.hot.maxsize} "
+              f"(evictions {s.hot.evictions})")
     return 0
 
 
@@ -313,6 +406,7 @@ _COMMANDS = {
     "cost": cmd_cost,
     "simulate": cmd_simulate,
     "campaign": cmd_campaign,
+    "store": cmd_store,
     "db": cmd_db,
     "validate": cmd_validate,
 }

@@ -38,6 +38,7 @@ class CacheInfo(NamedTuple):
     misses: int
     maxsize: int
     currsize: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -73,6 +74,7 @@ class CostCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def maxsize(self) -> int:
@@ -98,14 +100,39 @@ class CostCache:
             self._store.move_to_end(key)
             while len(self._store) > self._maxsize:
                 self._store.popitem(last=False)
+                self._evictions += 1
         return value
 
+    def get(self, key: tuple, default=None):
+        """Plain lookup (counts a hit or a miss, refreshes recency)."""
+        if self._maxsize == 0:
+            return default
+        with self._lock:
+            if key in self._store:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: tuple, value) -> None:
+        """Insert/refresh an entry without touching the hit/miss counters."""
+        if self._maxsize == 0:
+            return
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self._maxsize:
+                self._store.popitem(last=False)
+                self._evictions += 1
+
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def resize(self, maxsize: int) -> None:
         """Change the capacity, evicting oldest entries if shrinking."""
@@ -115,10 +142,12 @@ class CostCache:
             self._maxsize = maxsize
             while len(self._store) > maxsize:
                 self._store.popitem(last=False)
+                self._evictions += 1
 
     def cache_info(self) -> CacheInfo:
         with self._lock:
-            return CacheInfo(self._hits, self._misses, self._maxsize, len(self._store))
+            return CacheInfo(self._hits, self._misses, self._maxsize,
+                             len(self._store), self._evictions)
 
     def __len__(self) -> int:
         with self._lock:

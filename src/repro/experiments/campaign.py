@@ -189,19 +189,41 @@ def plan_campaign(
 #: per-process cache of built patterns, keyed (family, P, kernel)
 _PATTERN_CACHE: dict = {}
 
+#: per-process cache of opened pattern stores, keyed by directory
+_STORE_CACHE: dict = {}
 
-def _build_pattern(family: str, P: int, kernel: str):
+
+def _open_store(store_dir: Optional[str]):
+    if store_dir is None:
+        return None
+    store = _STORE_CACHE.get(store_dir)
+    if store is None:
+        from ..patterns.store import PatternStore
+
+        store = PatternStore(store_dir)
+        _STORE_CACHE[store_dir] = store
+    return store
+
+
+def _build_pattern(family: str, P: int, kernel: str, store=None):
     key = (family, P, kernel)
     pat = _PATTERN_CACHE.get(key)
     if pat is None:
-        pat = PATTERN_FAMILIES[family](P, kernel=kernel, jobs=1)
+        # workers read the store but never write it: shard writes from a
+        # pool would race, and read-only lookups keep rows identical for
+        # every jobs value (a cold store just falls back to live builds)
+        if store is not None:
+            pat = store.get(P, kernel=kernel, family=family)
+        if pat is None:
+            pat = PATTERN_FAMILIES[family](P, kernel=kernel, jobs=1)
         _PATTERN_CACHE[key] = pat
     return pat
 
 
-def _eval_cell(cell: CampaignCell, tile_size: int) -> CampaignRow:
+def _eval_cell(cell: CampaignCell, tile_size: int,
+               store=None) -> CampaignRow:
     """Evaluate one cell: build, count, bound, simulate."""
-    pattern = _build_pattern(cell.family, cell.P, cell.kernel)
+    pattern = _build_pattern(cell.family, cell.P, cell.kernel, store=store)
     cluster = sim_cluster(cell.P, tile_size=tile_size)
     if cluster.nnodes < pattern.nnodes:
         cluster = cluster.with_nodes(pattern.nnodes)
@@ -258,9 +280,12 @@ def _eval_cell(cell: CampaignCell, tile_size: int) -> CampaignRow:
     )
 
 
-def _eval_campaign_chunk(args: Tuple[int, List[CampaignCell]]) -> List[CampaignRow]:
-    tile_size, chunk = args
-    return [_eval_cell(cell, tile_size) for cell in chunk]
+def _eval_campaign_chunk(
+    args: Tuple[int, Optional[str], List[CampaignCell]],
+) -> List[CampaignRow]:
+    tile_size, store_dir, chunk = args
+    store = _open_store(store_dir)
+    return [_eval_cell(cell, tile_size, store=store) for cell in chunk]
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +298,7 @@ def run_campaign(
     tile_size: int = PAPER_TILE_SIZE,
     chunk_size: Optional[int] = None,
     memo: Optional[dict] = None,
+    store_dir: Optional[str] = None,
 ) -> List[CampaignRow]:
     """Evaluate every cell; return rows in the order of ``cells``.
 
@@ -280,6 +306,11 @@ def run_campaign(
     cells and is updated in place — pass the same dict across calls to
     grow a grid incrementally.  Rows are merged in planning order, so
     the output is independent of ``jobs`` and ``chunk_size``.
+
+    ``store_dir`` points workers at a warmed
+    :class:`~repro.patterns.store.PatternStore`: pattern construction
+    becomes a shard read instead of a per-process search.  Workers use
+    the store read-only, so a cold store changes nothing but speed.
     """
     if memo is None:
         memo = {}
@@ -296,7 +327,7 @@ def run_campaign(
         try:
             chunks = chunk_tasks(misses, executor.jobs, chunk_size)
             results = executor.map(_eval_campaign_chunk,
-                                   [(tile_size, c) for c in chunks])
+                                   [(tile_size, store_dir, c) for c in chunks])
             for chunk, rows in zip(chunks, results):
                 for cell, row in zip(chunk, rows):
                     memo[key(cell)] = row

@@ -41,6 +41,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import maximum_bipartite_matching
 
 from .base import UNDEFINED, Pattern
+from .delta import DeltaCostState
 
 __all__ = [
     "TIE_BREAKS",
@@ -152,6 +153,112 @@ def _phase1(P: int, r: int, rng: np.random.Generator,
     return A
 
 
+def _phase1_fast(P: int, r: int, rng: np.random.Generator,
+                 tie_break: str = "usage_random") -> list[set[int]]:
+    """Bitmask reimplementation of :func:`_phase1` (the ``delta=True`` path).
+
+    Decision-for-decision identical to the reference loop: the same
+    ``rng.choice`` calls are made on the same candidate lists, so the
+    RNG stream — and therefore the returned assignment — is
+    byte-identical.  Colrow sets and the uncovered-cell matrix live in
+    Python integers (one bit per colrow), which turns the per-iteration
+    boolean slicing of the reference path into a handful of popcounts.
+
+    Three deliberate representation differences that cannot change
+    decisions: gains are counted once instead of twice (the reference
+    sums the symmetric ``uncovered`` matrix over rows *and* columns, a
+    uniform ×2 that preserves every argmax tie set), coverage is
+    tracked by a live cell counter instead of re-scanning the matrix,
+    and uniform picks use ``cand[rng.integers(0, len(cand))]``, the
+    exact draw ``Generator.choice`` makes for a 1-D population with
+    ``size=None``/``replace=True``/``p=None`` — minus its Python
+    preamble.  The stream equivalence is locked at runtime by the
+    differential suite (``tests/patterns/test_delta_eval.py``), so a
+    numpy release that reworked ``choice`` internals would fail loudly
+    there rather than silently diverge.
+    """
+    full = (1 << r) - 1
+    member = [0] * P          # bitmask of A[p]
+    for i in range(r):
+        member[i % P] |= 1 << i
+    unc = [full & ~(1 << b) for b in range(r)]  # symmetric uncovered rows
+    n_uncovered = r * r - r
+    sizes = [m.bit_count() for m in member]
+    loads = [s * (s - 1) for s in sizes]  # maintained incrementally
+    usage = [1] * r           # round-robin start: each colrow in one A[p]
+    use_usage = tie_break == "usage_random"
+    pick_first = tie_break == "first"
+    integers = rng.integers
+
+    # the argmin set of ``loads`` is maintained incrementally: loads
+    # never decrease and only the chosen node's load changes, so the
+    # picked node either stays in the set (its load was unchanged) or
+    # drops out; a full O(P) rescan happens only when the set drains.
+    best_load = min(loads)
+    least = [p for p, l in enumerate(loads) if l == best_load]
+
+    guard = 0
+    max_iter = 4 * P * r + 16
+    while n_uncovered:
+        guard += 1
+        if guard > max_iter:  # pragma: no cover - safety net
+            raise RuntimeError(f"GCR&M phase 1 did not converge (P={P}, r={r})")
+        if not least:
+            best_load = min(loads)
+            least = [p for p, l in enumerate(loads) if l == best_load]
+        idx = integers(0, len(least))
+        p = least[idx]
+        mine = member[p]
+        # gains for unowned colrows only; owned ones are -1 in the
+        # reference and can win only when every colrow is owned
+        best_gain = -1
+        cand: list[int] = []
+        bits = full & ~mine
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            b = low.bit_length() - 1
+            g = (unc[b] & mine).bit_count()
+            if g > best_gain:
+                best_gain = g
+                cand = [b]
+            elif g == best_gain:
+                cand.append(b)
+        if not cand:  # pragma: no cover - p owns every colrow already
+            cand = list(range(r))
+        if len(cand) > 1 and use_usage:
+            umin = P + 2  # usage[b] <= P: each node owns b at most once
+            sel: list[int] = []
+            for b in cand:
+                u = usage[b]
+                if u < umin:
+                    umin = u
+                    sel = [b]
+                elif u == umin:
+                    sel.append(b)
+            cand = sel
+        if pick_first:
+            b = cand[0]
+        else:
+            b = cand[integers(0, len(cand))]
+        member[p] = mine | (1 << b)
+        s = sizes[p] + 1
+        sizes[p] = s
+        load = s * (s - 1)
+        loads[p] = load
+        if load != best_load:
+            del least[idx]
+        usage[b] += 1
+        flips = unc[b] & member[p]
+        n_uncovered -= 2 * flips.bit_count()
+        unc[b] &= ~flips
+        while flips:
+            low = flips & -flips
+            unc[low.bit_length() - 1] &= ~(1 << b)
+            flips ^= low
+    return [{i for i in range(r) if (member[p] >> i) & 1} for p in range(P)]
+
+
 def _matching_assign(cells: np.ndarray, cover: np.ndarray, copies: np.ndarray) -> np.ndarray:
     """Match ``cells`` (indices into cover's rows) to node copies.
 
@@ -189,7 +296,50 @@ def _matching_assign(cells: np.ndarray, cover: np.ndarray, copies: np.ndarray) -
     return out
 
 
-def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResult:
+def _matching_assign_fast(cells: np.ndarray, cover: np.ndarray,
+                          copies: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_matching_assign` (the ``delta=True`` path).
+
+    Builds the cell/copy bipartite graph directly in CSR form — the
+    same matrix, entry for entry, that the reference path assembles
+    with Python loops and a COO→CSR conversion: ``np.nonzero`` yields
+    the (cell, node) pairs in identical row-major order, each pair
+    expands to the same contiguous copy-column range, and the expanded
+    columns are already sorted and duplicate-free within each row.
+    Identical CSR structure means Hopcroft–Karp returns the identical
+    matching.
+    """
+    P = cover.shape[1]
+    col_node = np.repeat(np.arange(P), copies)
+    n = len(cells)
+    if len(col_node) == 0 or n == 0:
+        return np.full(n, -1, dtype=np.int64)
+    sub = cover[cells]  # (n, P)
+    rows, nodecols = np.nonzero(sub)
+    counts = copies[nodecols]
+    total = int(counts.sum())
+    if total == 0:
+        return np.full(n, -1, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(copies)])
+    # expand pair k into columns starts[nn_k] .. starts[nn_k]+counts_k-1
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    c_idx = (np.repeat(starts[nodecols], counts) + within).astype(np.int32)
+    row_nnz = np.bincount(np.repeat(rows, counts), minlength=n)
+    indptr = np.concatenate([[0], np.cumsum(row_nnz)]).astype(np.int32)
+    graph = csr_matrix(
+        (np.ones(total, dtype=np.int8), c_idx, indptr),
+        shape=(n, len(col_node)),
+    )
+    match = maximum_bipartite_matching(graph, perm_type="column")
+    out = np.full(n, -1, dtype=np.int64)
+    hit = match >= 0
+    out[hit] = col_node[match[hit]]
+    return out
+
+
+def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random",
+         delta: bool = False) -> GCRMResult:
     """Run GCR&M for ``P`` nodes and pattern size ``r`` (Algorithm 1).
 
     ``seed`` may be an integer, ``None``, or a
@@ -198,7 +348,18 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResu
     execution order).  ``tie_break`` selects the phase-1 colrow tie
     policy (see :data:`TIE_BREAKS`); the paper's algorithm is
     ``"usage_random"``.
+
+    ``delta=True`` routes construction through the incremental
+    evaluator: the bitmask phase 1 (:func:`_phase1_fast`), the
+    direct-CSR matchings (:func:`_matching_assign_fast`), and a
+    :class:`~repro.patterns.delta.DeltaCostState` that scores the
+    greedy top-up and the final cost without full-grid re-costing.
+    The result — pattern, colrows, loads *and* the cost float — is
+    byte-identical to the reference path (``delta=False``), which stays
+    as the oracle the differential suite pins against.
     """
+    if P < 1:
+        raise ValueError(f"node count must be >= 1, got P={P}")
     if not feasible_size(r, P):
         raise ValueError(f"pattern size r={r} violates Equation 3 for P={P}")
     if tie_break not in TIE_BREAKS:
@@ -208,7 +369,9 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResu
     else:
         seed_id = seed
     rng = np.random.default_rng(seed)
-    A = _phase1(P, r, rng, tie_break=tie_break)
+    phase1 = _phase1_fast if delta else _phase1
+    assign = _matching_assign_fast if delta else _matching_assign
+    A = phase1(P, r, rng, tie_break=tie_break)
 
     member = np.zeros((P, r), dtype=bool)
     for p, crs in enumerate(A):
@@ -228,13 +391,22 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResu
     # first matching: k duplicates per node (line 11)
     if k > 0:
         all_cells = np.arange(ncells)
-        owner = _matching_assign(all_cells, cover, np.full(P, k, dtype=np.int64))
+        owner = assign(all_cells, cover, np.full(P, k, dtype=np.int64))
 
     # second matching: unassigned cells vs 1 extra duplicate per node (line 12)
     unassigned = np.flatnonzero(owner == -1)
     if len(unassigned):
-        extra = _matching_assign(unassigned, cover, np.ones(P, dtype=np.int64))
+        extra = assign(unassigned, cover, np.ones(P, dtype=np.int64))
         owner[unassigned[extra >= 0]] = extra[extra >= 0]
+
+    state = None
+    if delta:
+        # score the matched cells once, then delta-evaluate the top-up
+        state = DeltaCostState(r, P)
+        done = owner >= 0
+        np.add.at(state.counts, (ii[done], owner[done]), 1)
+        np.add.at(state.counts, (jj[done], owner[done]), 1)
+        state.z = (state.counts > 0).sum(axis=1).astype(np.int64)
 
     # leftover cells: least loaded node reachable by adding one colrow
     loads = np.bincount(owner[owner >= 0], minlength=P)
@@ -250,6 +422,8 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResu
         member[p, i] = True
         member[p, j] = True
         A[p].update((i, j))
+        if state is not None:
+            state.assign(i, j, p)
 
     grid = np.full((r, r), UNDEFINED, dtype=np.int64)
     grid[ii, jj] = owner
@@ -257,7 +431,7 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random") -> GCRMResu
     return GCRMResult(
         pattern=pattern,
         colrows=A,
-        cost=pattern.cost_cholesky,
+        cost=state.cost if state is not None else pattern.cost_cholesky,
         seed=seed_id,
         phase2_leftover=int(len(leftover)),
         loads=np.bincount(owner, minlength=P),
@@ -276,6 +450,7 @@ def gcrm_search(
     prune_tol: float = 0.05,
     chunk_size: Optional[int] = None,
     tie_break: str = "usage_random",
+    delta: bool = False,
 ) -> GCRMResult:
     """Paper evaluation protocol: best pattern over sizes × seeds.
 
@@ -303,12 +478,20 @@ def gcrm_search(
         (:func:`gcrm_cost_floor`).  Pruning decisions happen on size
         boundaries only, so they are identical for every ``jobs``.
         The first candidate size is always fully evaluated.
+    ``delta``
+        Evaluate tasks with the incremental delta evaluator (see
+        :func:`gcrm`).  Winners are byte-identical to ``delta=False``;
+        the full evaluator remains the reference path
+        (``benchmarks/results/delta_eval_speedup.txt`` records the
+        speedup).
 
     The returned result carries the engine's
     :class:`~repro.patterns.search.SearchReport` in ``result.report``.
     """
     from .search import SearchTask, run_search, spawn_task_seeds
 
+    if P < 1:
+        raise ValueError(f"node count must be >= 1, got P={P}")
     if sizes is None:
         sizes = feasible_sizes(P, max_factor)
     sizes = list(sizes)
@@ -340,6 +523,7 @@ def gcrm_search(
         prune=prune,
         prune_floor=gcrm_cost_floor(P),
         prune_tol=prune_tol,
+        delta=delta,
     )
     if report.best_index is None:
         raise ValueError(
@@ -351,7 +535,7 @@ def gcrm_search(
     # task's RNG depends only on its seed material.
     winner = next(t for _, tasks in groups for t in tasks
                   if t.index == report.best_index)
-    best = gcrm(P, winner.r, seed=winner.seed, tie_break=tie_break)
+    best = gcrm(P, winner.r, seed=winner.seed, tie_break=tie_break, delta=delta)
     assert abs(best.cost - report.best_cost) < 1e-9, "non-deterministic gcrm task"
     best.report = report
     return best

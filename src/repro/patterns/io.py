@@ -20,10 +20,12 @@ import json
 from pathlib import Path
 from typing import Dict, Union
 
+import numpy as np
+
 from .base import Pattern, PatternError
 
-__all__ = ["pattern_to_dict", "pattern_from_dict", "save_pattern", "load_pattern",
-           "save_database", "load_database"]
+__all__ = ["pattern_to_dict", "pattern_from_dict", "pattern_from_arrays",
+           "save_pattern", "load_pattern", "save_database", "load_database"]
 
 
 def pattern_to_dict(pattern: Pattern) -> dict:
@@ -72,6 +74,46 @@ def pattern_from_dict(data: dict, context: str = "") -> Pattern:
             f"{where}grid references node {max_node} but nnodes is {nnodes}")
     try:
         return Pattern(grid, nnodes=nnodes, name=data.get("name", ""))
+    except PatternError as exc:
+        raise PatternError(f"{where}{exc}") from None
+
+
+def pattern_from_arrays(cells: np.ndarray, nrows: int, ncols: int,
+                        nnodes: int, name: str = "",
+                        context: str = "") -> Pattern:
+    """Build a :class:`Pattern` from a flattened cell array, validating.
+
+    The columnar counterpart of :func:`pattern_from_dict`, used by the
+    npz shard store: ``cells`` is the row-major flattening of the grid.
+    All failure modes raise :class:`PatternError` prefixed with
+    ``context`` (a shard path plus entry key), never a raw numpy error.
+    """
+    where = f"{context}: " if context else ""
+    cells = np.asarray(cells)
+    if cells.ndim != 1:
+        raise PatternError(f"{where}cell array must be 1-D, got shape "
+                           f"{cells.shape}")
+    if not np.issubdtype(cells.dtype, np.integer):
+        raise PatternError(f"{where}cell array must be integer-typed, "
+                           f"got dtype {cells.dtype}")
+    nrows, ncols, nnodes = int(nrows), int(ncols), int(nnodes)
+    if nrows < 1 or ncols < 1:
+        raise PatternError(f"{where}grid shape must be positive, got "
+                           f"{nrows}x{ncols}")
+    if cells.size != nrows * ncols:
+        raise PatternError(
+            f"{where}cell array has {cells.size} entries, expected "
+            f"{nrows}x{ncols} = {nrows * ncols}")
+    if nnodes < 1:
+        raise PatternError(f"{where}'nnodes' must be a positive integer, "
+                           f"got {nnodes}")
+    if cells.size and int(cells.max()) >= nnodes:
+        raise PatternError(
+            f"{where}grid references node {int(cells.max())} but nnodes "
+            f"is {nnodes}")
+    try:
+        return Pattern(cells.astype(np.int64).reshape(nrows, ncols),
+                       nnodes=nnodes, name=name)
     except PatternError as exc:
         raise PatternError(f"{where}{exc}") from None
 

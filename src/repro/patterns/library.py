@@ -46,9 +46,10 @@ def _family_sbc_within(P: int, **kw) -> Pattern:
 
 
 def _family_gcrm(P: int, seeds: Iterable[int] = range(20), max_factor: float = 6.0,
-                 jobs: Optional[int] = 1, prune: bool = True, **kw) -> Pattern:
+                 jobs: Optional[int] = 1, prune: bool = True,
+                 delta: bool = False, **kw) -> Pattern:
     return gcrm_search(P, seeds=seeds, max_factor=max_factor,
-                       jobs=jobs, prune=prune).pattern
+                       jobs=jobs, prune=prune, delta=delta).pattern
 
 
 def _family_sts(P: int, **kw) -> Pattern:
@@ -74,13 +75,27 @@ PATTERN_FAMILIES: Dict[str, Callable[..., Pattern]] = {
 }
 
 
-def best_pattern(P: int, kernel: str = "lu", family: Optional[str] = None, **kw) -> Pattern:
+def best_pattern(P: int, kernel: str = "lu", family: Optional[str] = None,
+                 store=None, **kw) -> Pattern:
     """Best known pattern for ``P`` nodes and the given kernel.
 
     Without an explicit ``family``, returns G-2DBC for LU and the
     GCR&M search result for Cholesky — the paper's recommendations for
     arbitrary ``P``.
+
+    ``store`` (a :class:`~repro.patterns.store.PatternStore`, duck-typed
+    to avoid an import cycle) makes the call read-through: a stored
+    pattern is returned without any search, and a live result is
+    persisted for the next caller.
     """
+    if store is not None:
+        fam = family if family is not None else "best"
+        cached = store.get(P, kernel=kernel, family=fam)
+        if cached is not None:
+            return cached
+        pattern = best_pattern(P, kernel=kernel, family=family, **kw)
+        store.put(pattern, P, kernel=kernel, family=fam)
+        return pattern
     if family is not None:
         try:
             builder = PATTERN_FAMILIES[family]

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from .base import UNDEFINED, Pattern
+from .delta import ColrowSwap, DeltaCostState
 
 __all__ = ["RefineResult", "refine_symmetric"]
 
@@ -47,21 +48,6 @@ class RefineResult:
         if self.initial_cost == 0:
             return 0.0
         return 1.0 - self.cost / self.initial_cost
-
-
-def _colrow_presence(grid: np.ndarray, P: int) -> np.ndarray:
-    """``count[k, p]`` — number of cells of colrow ``k`` owned by ``p``."""
-    r = grid.shape[0]
-    count = np.zeros((r, P), dtype=np.int64)
-    for i in range(r):
-        for j in range(r):
-            p = grid[i, j]
-            if p == UNDEFINED:
-                continue
-            count[i, p] += 1
-            if i != j:
-                count[j, p] += 1
-    return count
 
 
 def refine_symmetric(
@@ -90,7 +76,8 @@ def refine_symmetric(
     r = pattern.nrows
     P = pattern.nnodes
     grid = pattern.grid.copy()
-    presence = _colrow_presence(grid, P)
+    state = DeltaCostState.from_grid(grid, P)
+    presence = state.counts  # count[k, p] — cells of colrow k owned by p
     loads = pattern.cell_counts.copy()
     max_load = int(loads.max()) + balance_slack
     min_load = max(1, int(loads.min()) - balance_slack)
@@ -129,10 +116,7 @@ def refine_symmetric(
             # ensure q's presence is not *only* through this very cell
             # (it is not: p owns this cell)
             grid[i, j] = q
-            presence[i, p] -= 1
-            presence[j, p] -= 1
-            presence[i, q] += 1
-            presence[j, q] += 1
+            state.apply(ColrowSwap(i, j, p, q))
             loads[p] -= 1
             loads[q] += 1
             moves += 1

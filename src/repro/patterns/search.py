@@ -188,18 +188,20 @@ def spawn_task_seeds(root_seed: int, n: int) -> List[np.random.SeedSequence]:
 # ---------------------------------------------------------------------------
 # GCR&M task evaluation (module-level: must be picklable for the pool)
 # ---------------------------------------------------------------------------
-def _eval_gcrm_chunk(args: Tuple[int, str, List[SearchTask]]) -> List[TaskOutcome]:
+def _eval_gcrm_chunk(args: Tuple[int, str, bool, List[SearchTask]]) -> List[TaskOutcome]:
     """Worker body: score one chunk of GCR&M tasks.
 
     Imports :mod:`repro.patterns.gcrm` lazily — that module imports this
-    one at load time, and workers only need it at call time.
+    one at load time, and workers only need it at call time.  ``delta``
+    selects the incremental evaluator; both evaluators return
+    bit-identical costs, so the reduction below cannot tell them apart.
     """
-    P, tie_break, chunk = args
+    P, tie_break, delta, chunk = args
     from .gcrm import gcrm
 
     out = []
     for task in chunk:
-        res = gcrm(P, task.r, seed=task.seed, tie_break=tie_break)
+        res = gcrm(P, task.r, seed=task.seed, tie_break=tie_break, delta=delta)
         out.append(TaskOutcome(task.index, task.r, res.cost, res.uses_all_nodes))
     return out
 
@@ -217,6 +219,7 @@ def run_search(
     prune: bool = True,
     prune_floor: Optional[float] = None,
     prune_tol: float = 0.05,
+    delta: bool = False,
 ) -> SearchReport:
     """Evaluate task ``groups`` (one per candidate size, in order).
 
@@ -225,9 +228,14 @@ def run_search(
     ``prune_floor * (1 + prune_tol)`` and the remaining groups are
     skipped once the best is inside that band.  Group-boundary pruning
     plus index-ordered reduction make the outcome independent of
-    ``jobs`` and ``chunk_size``.
+    ``jobs`` and ``chunk_size``.  ``delta`` forwards to the task
+    evaluator (incremental vs full re-costing — identical outcomes).
     """
+    if not groups:
+        raise ValueError("run_search needs at least one task group")
     n_total = sum(len(tasks) for _, tasks in groups)
+    if n_total == 0:
+        raise ValueError("run_search received only empty task groups")
     executor = auto_executor(n_total, jobs)
     report = SearchReport(best_index=None, best_cost=float("inf"),
                           jobs=executor.jobs, n_tasks_total=n_total)
@@ -237,7 +245,7 @@ def run_search(
             r, tasks = remaining.pop(0)
             chunks = chunk_tasks(list(tasks), executor.jobs, chunk_size)
             for outcomes in executor.map(_eval_gcrm_chunk,
-                                         [(P, tie_break, c) for c in chunks]):
+                                         [(P, tie_break, delta, c) for c in chunks]):
                 report.outcomes.extend(outcomes)
             report.sizes_evaluated.append(r)
             report.n_tasks_evaluated += len(tasks)

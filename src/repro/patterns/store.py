@@ -1,0 +1,441 @@
+"""Disk-backed pattern store: sharded cold tier + LRU hot tier.
+
+The paper's conclusion proposes shipping "a database containing, for
+each possible value of P, a very efficient pattern" — and the shipped
+JSON databases (:func:`repro.patterns.library.load_shipped_database`)
+do exactly that for P ≤ 44.  A scheduler service, however, wants the
+same product for *any* P, warmed offline and served in microseconds.
+This module is that service's storage engine:
+
+**Cold tier — columnar npz shards.**  Patterns are grouped by P-range
+into compressed ``.npz`` files (``{kernel}-{family}-p{lo}-{hi}.npz``),
+one shard per ``shard_size`` consecutive node counts.  A shard stores
+every grid flattened into one ``cells`` array plus ``offsets`` /
+``nrows`` / ``ncols`` / ``nnodes`` / ``names`` columns — the same
+structure-of-arrays layout as the columnar task graphs.  Writes are
+atomic (temp file + ``os.replace``), and every load failure — missing
+arrays, inconsistent offsets, truncated or corrupt zip data — raises
+:class:`~repro.patterns.base.PatternError` naming the shard path,
+mirroring the hardened JSON loader in :mod:`repro.patterns.io`.
+
+**Hot tier — in-process LRU.**  Lookups go through a
+:class:`~repro.cost.cache.CostCache` keyed ``(kernel, family, P)``, so
+a service hitting the same P repeatedly never touches disk.  Hit /
+miss / eviction counters are exact (:meth:`PatternStore.stats`).
+
+**Batched lookup + pool fallback.**  :meth:`PatternStore.patterns_for`
+serves a whole ``P_array`` in one call: hot tier, then shards, then —
+for store misses — live construction fanned out on the same
+process-pool machinery as the GCR&M search.  Each fallback task is a
+pure function of ``(P, kernel, family, budget)``, and results are
+merged back in input order, so the output is independent of ``jobs``
+and ``chunk_size`` (the ``run_search`` determinism contract).
+
+:func:`repro.patterns.library.best_pattern` accepts ``store=`` to make
+any call site read-through, and ``python -m repro store
+precompute|query`` exposes warming and lookup on the command line.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cost.cache import CacheInfo, CostCache
+from .base import Pattern, PatternError
+from .io import pattern_from_arrays, pattern_from_dict, pattern_to_dict
+from .search import auto_executor, chunk_tasks
+
+__all__ = ["PatternStore", "StoreStats", "SHARD_VERSION", "DEFAULT_SHARD_SIZE"]
+
+#: On-disk shard format version (bumped on incompatible layout changes).
+SHARD_VERSION = 1
+
+#: Node counts per shard file.
+DEFAULT_SHARD_SIZE = 32
+
+_KERNELS = ("lu", "cholesky")
+
+#: Pseudo-family for :func:`~repro.patterns.library.best_pattern`'s
+#: default recommendation (G-2DBC for LU, best of SBC/GCR&M for
+#: Cholesky) — distinct from any registered explicit family.
+BEST_FAMILY = "best"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of store effectiveness counters.
+
+    ``hot_hits`` / ``cold_hits`` / ``misses`` partition the ``get``
+    calls: served from the LRU, served from a shard (and promoted), or
+    absent from both tiers.  ``hot`` is the LRU's own
+    :class:`~repro.cost.cache.CacheInfo` (its ``misses`` also count
+    lookups that went on to hit a shard).
+    """
+
+    hot_hits: int
+    cold_hits: int
+    misses: int
+    fallbacks: int
+    shards_read: int
+    shards_written: int
+    hot: CacheInfo
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hot_hits + self.cold_hits + self.misses
+        return (self.hot_hits + self.cold_hits) / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# live fallback (module-level: must be picklable for the process pool)
+# ---------------------------------------------------------------------------
+def _live_pattern(P: int, kernel: str, family: str, budget: int,
+                  delta: bool) -> Pattern:
+    """Construct one pattern the way a cold cache would."""
+    from .library import PATTERN_FAMILIES, best_pattern
+
+    kw = dict(seeds=range(budget), jobs=1, delta=delta)
+    if family == BEST_FAMILY:
+        return best_pattern(P, kernel=kernel, **kw)
+    try:
+        builder = PATTERN_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; choose from "
+            f"{sorted(PATTERN_FAMILIES) + [BEST_FAMILY]}") from None
+    return builder(P, kernel=kernel, **kw)
+
+
+def _compute_pattern_chunk(
+    args: Tuple[str, str, int, bool, List[int]],
+) -> List[Tuple[int, dict]]:
+    """Worker body: build one chunk of patterns, return JSON payloads.
+
+    Payload dicts (not :class:`Pattern` instances) cross the process
+    boundary — compact, and re-validated on the parent side by
+    :func:`~repro.patterns.io.pattern_from_dict`.
+    """
+    kernel, family, budget, delta, Ps = args
+    return [(P, pattern_to_dict(_live_pattern(P, kernel, family, budget, delta)))
+            for P in Ps]
+
+
+def _validate_batch(P_array: Sequence[int]) -> List[int]:
+    """Shared degenerate-input guard for batched APIs."""
+    Ps = [int(P) for P in P_array]
+    if not Ps:
+        raise ValueError("P_array must not be empty")
+    bad = sorted({P for P in Ps if P < 1})
+    if bad:
+        raise ValueError(f"node counts must be >= 1, got {bad}")
+    dups = sorted(P for P, n in Counter(Ps).items() if n > 1)
+    if dups:
+        raise ValueError(f"duplicate node counts in batch: {dups}")
+    return Ps
+
+
+class PatternStore:
+    """Sharded on-disk pattern database with an LRU hot tier.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created if missing).
+    shard_size:
+        Consecutive node counts per shard file.  Must match across all
+        accesses of one store directory; it is part of the file names,
+        so a mismatch simply finds no shards rather than corrupting.
+    hot_maxsize:
+        Capacity of the in-process LRU (0 disables the hot tier).
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 hot_maxsize: int = 256):
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.shard_size = int(shard_size)
+        self.hot = CostCache(maxsize=hot_maxsize)
+        self._hot_hits = 0
+        self._cold_hits = 0
+        self._misses = 0
+        self._fallbacks = 0
+        self._shards_read = 0
+        self._shards_written = 0
+
+    # ------------------------------------------------------------------
+    # shard addressing
+    # ------------------------------------------------------------------
+    def shard_span(self, P: int) -> Tuple[int, int]:
+        """Inclusive ``[lo, hi]`` node-count range of ``P``'s shard."""
+        if P < 1:
+            raise ValueError(f"node count must be >= 1, got P={P}")
+        lo = ((P - 1) // self.shard_size) * self.shard_size + 1
+        return lo, lo + self.shard_size - 1
+
+    def shard_path(self, P: int, kernel: str, family: str = BEST_FAMILY) -> Path:
+        _check_kernel(kernel)
+        lo, hi = self.shard_span(P)
+        return self.root / f"{kernel}-{family}-p{lo:06d}-{hi:06d}.npz"
+
+    # ------------------------------------------------------------------
+    # single-pattern interface
+    # ------------------------------------------------------------------
+    def get(self, P: int, kernel: str = "cholesky",
+            family: str = BEST_FAMILY) -> Optional[Pattern]:
+        """Look up one pattern: hot tier, then shard; ``None`` on miss.
+
+        A shard hit promotes the pattern into the hot tier.
+        """
+        if P < 1:
+            raise ValueError(f"node count must be >= 1, got P={P}")
+        _check_kernel(kernel)
+        key = (kernel, family, int(P))
+        pat = self.hot.get(key)
+        if pat is not None:
+            self._hot_hits += 1
+            return pat
+        path = self.shard_path(P, kernel, family)
+        if not path.exists():
+            self._misses += 1
+            return None
+        pat = self._read_shard(path).get(int(P))
+        if pat is None:
+            self._misses += 1
+            return None
+        self._cold_hits += 1
+        self.hot.put(key, pat)
+        return pat
+
+    def put(self, pattern: Pattern, P: int, kernel: str = "cholesky",
+            family: str = BEST_FAMILY) -> None:
+        """Insert/overwrite one pattern (rewrites its shard atomically)."""
+        self.put_many({int(P): pattern}, kernel=kernel, family=family)
+
+    def put_many(self, patterns: Dict[int, Pattern], kernel: str = "cholesky",
+                 family: str = BEST_FAMILY) -> List[Path]:
+        """Merge a ``{P: pattern}`` batch into the store, shard by shard.
+
+        Each affected shard is read (if present), merged, and rewritten
+        atomically; every inserted pattern is also promoted into the
+        hot tier.  Returns the written shard paths.
+        """
+        _check_kernel(kernel)
+        by_shard: Dict[Path, Dict[int, Pattern]] = {}
+        for P, pat in patterns.items():
+            P = int(P)
+            if P < 1:
+                raise ValueError(f"node count must be >= 1, got P={P}")
+            by_shard.setdefault(self.shard_path(P, kernel, family), {})[P] = pat
+        written: List[Path] = []
+        for path, batch in sorted(by_shard.items()):
+            entries = self._read_shard(path) if path.exists() else {}
+            entries.update(batch)
+            self._write_shard(path, entries)
+            written.append(path)
+        for P, pat in patterns.items():
+            self.hot.put((kernel, family, int(P)), pat)
+        return written
+
+    # ------------------------------------------------------------------
+    # batched interface
+    # ------------------------------------------------------------------
+    def patterns_for(
+        self,
+        P_array: Sequence[int],
+        kernel: str = "cholesky",
+        budget: int = 20,
+        *,
+        family: str = BEST_FAMILY,
+        jobs: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+        delta: bool = True,
+        write_back: bool = True,
+    ) -> List[Pattern]:
+        """Serve a batch of node counts; results align with ``P_array``.
+
+        Hot tier first, then shards; remaining misses are constructed
+        live with ``budget`` search seeds, fanned out over ``jobs``
+        worker processes.  Each fallback task is deterministic in
+        ``(P, kernel, family, budget)``, misses are dispatched in
+        sorted-P order, and results are merged by P — so the returned
+        patterns are independent of ``jobs`` and ``chunk_size``.
+        ``write_back=False`` skips persisting the fallbacks.
+        """
+        Ps = _validate_batch(P_array)
+        _check_kernel(kernel)
+        if budget < 1:
+            raise ValueError(f"search budget must be >= 1, got {budget}")
+        found: Dict[int, Pattern] = {}
+        missing: List[int] = []
+        for P in Ps:
+            pat = self.get(P, kernel=kernel, family=family)
+            if pat is None:
+                missing.append(P)
+            else:
+                found[P] = pat
+        if missing:
+            self._fallbacks += len(missing)
+            computed = self._compute_live(sorted(missing), kernel, family,
+                                          budget, jobs, chunk_size, delta)
+            if write_back:
+                self.put_many(computed, kernel=kernel, family=family)
+            found.update(computed)
+        return [found[P] for P in Ps]
+
+    def precompute(
+        self,
+        P_array: Sequence[int],
+        kernel: str = "cholesky",
+        budget: int = 20,
+        *,
+        family: str = BEST_FAMILY,
+        jobs: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+        delta: bool = True,
+        force: bool = False,
+    ) -> dict:
+        """Warm shards for ``P_array``; returns a summary dict.
+
+        Already-stored node counts are skipped unless ``force``.  The
+        construction fan-out runs on the search-engine process pool
+        (:func:`~repro.patterns.search.auto_executor`).
+        """
+        Ps = _validate_batch(P_array)
+        _check_kernel(kernel)
+        if budget < 1:
+            raise ValueError(f"search budget must be >= 1, got {budget}")
+        todo = Ps if force else [P for P in Ps
+                                 if self.get(P, kernel=kernel, family=family) is None]
+        written: List[Path] = []
+        if todo:
+            computed = self._compute_live(sorted(todo), kernel, family,
+                                          budget, jobs, chunk_size, delta)
+            written = self.put_many(computed, kernel=kernel, family=family)
+        return {
+            "requested": len(Ps),
+            "computed": len(todo),
+            "skipped": len(Ps) - len(todo),
+            "shards": [str(p) for p in written],
+        }
+
+    def stats(self) -> StoreStats:
+        return StoreStats(self._hot_hits, self._cold_hits, self._misses,
+                          self._fallbacks, self._shards_read,
+                          self._shards_written, self.hot.cache_info())
+
+    def __contains__(self, P: int) -> bool:
+        return self.get(int(P)) is not None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compute_live(self, Ps: List[int], kernel: str, family: str,
+                      budget: int, jobs: Optional[int],
+                      chunk_size: Optional[int], delta: bool) -> Dict[int, Pattern]:
+        executor = auto_executor(len(Ps), jobs)
+        try:
+            chunks = chunk_tasks(Ps, executor.jobs, chunk_size)
+            results = executor.map(
+                _compute_pattern_chunk,
+                [(kernel, family, budget, delta, c) for c in chunks])
+        finally:
+            executor.close()
+        out: Dict[int, Pattern] = {}
+        for chunk_result in results:
+            for P, payload in chunk_result:
+                out[P] = pattern_from_dict(
+                    payload, context=f"store fallback P={P}")
+        return out
+
+    def _write_shard(self, path: Path, entries: Dict[int, Pattern]) -> None:
+        Ps = np.array(sorted(entries), dtype=np.int64)
+        pats = [entries[int(P)] for P in Ps]
+        nrows = np.array([p.nrows for p in pats], dtype=np.int64)
+        ncols = np.array([p.ncols for p in pats], dtype=np.int64)
+        nnodes = np.array([p.nnodes for p in pats], dtype=np.int64)
+        offsets = np.zeros(len(pats) + 1, dtype=np.int64)
+        np.cumsum(nrows * ncols, out=offsets[1:])
+        if pats:
+            cells = np.concatenate([p.grid.ravel() for p in pats]).astype(np.int64)
+        else:  # pragma: no cover - shards are never written empty
+            cells = np.zeros(0, dtype=np.int64)
+        names = np.array([p.name for p in pats], dtype=np.str_)
+        meta = np.array([SHARD_VERSION], dtype=np.int64)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, meta=meta, Ps=Ps, nrows=nrows,
+                                    ncols=ncols, nnodes=nnodes,
+                                    offsets=offsets, cells=cells, names=names)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._shards_written += 1
+
+    def _read_shard(self, path: Path) -> Dict[int, Pattern]:
+        """Load one shard, validating layout; PatternError names the path."""
+        self._shards_read += 1
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                return self._decode_shard(path, z)
+        except PatternError:
+            raise
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as exc:
+            raise PatternError(f"{path}: unreadable shard: {exc}") from None
+
+    def _decode_shard(self, path: Path, z) -> Dict[int, Pattern]:
+        for key in ("meta", "Ps", "nrows", "ncols", "nnodes",
+                    "offsets", "cells", "names"):
+            if key not in z.files:
+                raise PatternError(f"{path}: shard missing array {key!r}")
+        meta = z["meta"]
+        if meta.size < 1 or int(meta[0]) != SHARD_VERSION:
+            raise PatternError(
+                f"{path}: unsupported shard version "
+                f"{meta[0] if meta.size else '?'} (expected {SHARD_VERSION})")
+        Ps, nrows, ncols = z["Ps"], z["nrows"], z["ncols"]
+        nnodes, offsets, cells, names = (z["nnodes"], z["offsets"],
+                                         z["cells"], z["names"])
+        n = Ps.size
+        if len(np.unique(Ps)) != n:
+            raise PatternError(f"{path}: duplicate node counts in shard")
+        for arr, label in ((nrows, "nrows"), (ncols, "ncols"),
+                           (nnodes, "nnodes"), (names, "names")):
+            if arr.size != n:
+                raise PatternError(
+                    f"{path}: array {label!r} has {arr.size} entries, "
+                    f"expected {n}")
+        if offsets.size != n + 1 or (n and offsets[0] != 0) \
+                or np.any(np.diff(offsets) < 0):
+            raise PatternError(f"{path}: inconsistent shard offsets")
+        if n and int(offsets[-1]) != cells.size:
+            raise PatternError(
+                f"{path}: cell array has {cells.size} entries, offsets "
+                f"expect {int(offsets[-1])}")
+        out: Dict[int, Pattern] = {}
+        for k in range(n):
+            P = int(Ps[k])
+            out[P] = pattern_from_arrays(
+                cells[int(offsets[k]):int(offsets[k + 1])],
+                int(nrows[k]), int(ncols[k]), int(nnodes[k]),
+                name=str(names[k]), context=f"{path}[P={P}]")
+        return out
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")

@@ -90,6 +90,43 @@ class TestCostCache:
         with pytest.raises(ValueError):
             CostCache().resize(-5)
 
+    def test_get_put_roundtrip(self):
+        cache = CostCache(maxsize=4)
+        assert cache.get(("k",)) is None
+        assert cache.get(("k",), default=-1) == -1
+        cache.put(("k",), 9.0)
+        assert cache.get(("k",)) == 9.0
+        info = cache.cache_info()
+        # two get-misses, one get-hit; put does not touch the counters
+        assert (info.hits, info.misses, info.currsize) == (1, 2, 1)
+
+    def test_get_refreshes_recency(self):
+        cache = CostCache(maxsize=2)
+        cache.put(("a",), 1.0)
+        cache.put(("b",), 2.0)
+        cache.get(("a",))          # refresh "a"
+        cache.put(("c",), 3.0)     # evicts "b"
+        assert cache.get(("a",)) == 1.0
+        assert cache.get(("b",)) is None
+
+    def test_eviction_counter_exact(self):
+        cache = CostCache(maxsize=2)
+        for k in ("a", "b", "c", "d"):
+            cache.put((k,), 0.0)
+        assert cache.cache_info().evictions == 2
+        cache.resize(1)
+        assert cache.cache_info().evictions == 3
+        cache.get_or_compute(("x",), lambda: 0.0)  # evicts the survivor
+        assert cache.cache_info().evictions == 4
+        cache.clear()
+        assert cache.cache_info().evictions == 0
+
+    def test_disabled_cache_get_put_noop(self):
+        cache = CostCache(maxsize=0)
+        cache.put(("k",), 1.0)
+        assert cache.get(("k",)) is None
+        assert len(cache) == 0
+
 
 class TestPatternIntegration:
     def test_equal_instances_share_computation(self):

@@ -1,0 +1,322 @@
+"""Tests for the disk-backed pattern store (repro.patterns.store)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import Pattern, PatternError
+from repro.patterns.library import best_pattern
+from repro.patterns.io import pattern_from_arrays
+from repro.patterns.store import (
+    DEFAULT_SHARD_SIZE,
+    PatternStore,
+    SHARD_VERSION,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PatternStore(tmp_path / "shards", shard_size=8, hot_maxsize=32)
+
+
+class TestShardAddressing:
+    def test_span_partitions_node_counts(self, store):
+        assert store.shard_span(1) == (1, 8)
+        assert store.shard_span(8) == (1, 8)
+        assert store.shard_span(9) == (9, 16)
+        assert store.shard_span(200) == (193, 200)
+
+    def test_default_shard_size(self, tmp_path):
+        s = PatternStore(tmp_path)
+        assert s.shard_size == DEFAULT_SHARD_SIZE
+        assert s.shard_span(1) == (1, DEFAULT_SHARD_SIZE)
+
+    def test_path_encodes_kernel_family_range(self, store):
+        path = store.shard_path(10, "lu", "g2dbc")
+        assert path.name == "lu-g2dbc-p000009-000016.npz"
+
+    def test_degenerate_inputs_rejected(self, store):
+        with pytest.raises(ValueError, match="node count"):
+            store.shard_span(0)
+        with pytest.raises(ValueError, match="kernel"):
+            store.shard_path(5, "qr")
+        with pytest.raises(ValueError, match="shard_size"):
+            PatternStore(store.root, shard_size=0)
+
+
+class TestRoundTrip:
+    def test_write_read_cost_equality_across_shards(self, store):
+        """Patterns survive the npz round trip across shard boundaries."""
+        Ps = [2, 7, 8, 9, 15, 17]  # spans three shards of size 8
+        originals = {P: best_pattern(P, kernel="lu") for P in Ps}
+        store.put_many(originals, kernel="lu")
+        # a fresh store (cold hot tier) must re-read from disk
+        fresh = PatternStore(store.root, shard_size=8)
+        for P, orig in originals.items():
+            got = fresh.get(P, kernel="lu")
+            assert got is not None
+            assert got == orig
+            assert (got.grid == orig.grid).all()
+            assert got.nnodes == orig.nnodes
+            assert got.name == orig.name
+            assert got.cost("lu") == orig.cost("lu")
+
+    def test_get_miss_returns_none(self, store):
+        assert store.get(5, kernel="lu") is None
+        stats = store.stats()
+        assert stats.misses == 1 and stats.cold_hits == 0
+
+    def test_put_merges_into_existing_shard(self, store):
+        a = best_pattern(3, kernel="lu")
+        b = best_pattern(5, kernel="lu")
+        store.put(a, 3, kernel="lu")
+        store.put(b, 5, kernel="lu")  # same shard, must keep P=3
+        fresh = PatternStore(store.root, shard_size=8)
+        assert fresh.get(3, kernel="lu") == a
+        assert fresh.get(5, kernel="lu") == b
+
+    def test_kernels_and_families_are_separate(self, store):
+        lu = best_pattern(6, kernel="lu")
+        chol = best_pattern(6, kernel="cholesky", seeds=range(2))
+        store.put(lu, 6, kernel="lu")
+        store.put(chol, 6, kernel="cholesky")
+        assert store.get(6, kernel="lu") == lu
+        assert store.get(6, kernel="cholesky") == chol
+        assert store.get(6, kernel="cholesky", family="gcrm") is None
+
+
+class TestCorruption:
+    def _warm(self, store, P=3):
+        store.put(best_pattern(P, kernel="lu"), P, kernel="lu")
+        return store.shard_path(P, "lu")
+
+    def test_truncated_shard_raises_with_path(self, store):
+        path = self._warm(store)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        fresh = PatternStore(store.root, shard_size=8)
+        with pytest.raises(PatternError, match=str(path.name)):
+            fresh.get(3, kernel="lu")
+
+    def test_garbage_shard_raises_with_path(self, store):
+        path = self._warm(store)
+        path.write_bytes(b"not a zip archive")
+        fresh = PatternStore(store.root, shard_size=8)
+        with pytest.raises(PatternError, match="unreadable shard"):
+            fresh.get(3, kernel="lu")
+
+    def test_missing_array_raises_with_path(self, store):
+        path = self._warm(store)
+        with np.load(path) as z:
+            arrays = {k: z[k] for k in z.files}
+        del arrays["offsets"]
+        np.savez(path, **arrays)
+        fresh = PatternStore(store.root, shard_size=8)
+        with pytest.raises(PatternError, match="missing array 'offsets'"):
+            fresh.get(3, kernel="lu")
+
+    def test_inconsistent_offsets_raise(self, store):
+        path = self._warm(store)
+        with np.load(path) as z:
+            arrays = {k: z[k] for k in z.files}
+        arrays["offsets"] = arrays["offsets"][:-1]
+        np.savez(path, **arrays)
+        with pytest.raises(PatternError, match="offsets"):
+            PatternStore(store.root, shard_size=8).get(3, kernel="lu")
+
+    def test_wrong_version_raises(self, store):
+        path = self._warm(store)
+        with np.load(path) as z:
+            arrays = {k: z[k] for k in z.files}
+        arrays["meta"] = np.array([SHARD_VERSION + 1], dtype=np.int64)
+        np.savez(path, **arrays)
+        with pytest.raises(PatternError, match="version"):
+            PatternStore(store.root, shard_size=8).get(3, kernel="lu")
+
+    def test_pattern_from_arrays_validation(self):
+        with pytest.raises(PatternError, match="shard.npz"):
+            pattern_from_arrays(np.array([0, 1, 2]), 2, 2, 3,
+                                context="shard.npz")
+        with pytest.raises(PatternError, match="references node"):
+            pattern_from_arrays(np.array([0, 5, 1, 0]), 2, 2, 3)
+        with pytest.raises(PatternError, match="integer"):
+            pattern_from_arrays(np.array([0.5, 1.0]), 1, 2, 2)
+        pat = pattern_from_arrays(np.array([0, 1, 1, 0]), 2, 2, 2, name="x")
+        assert isinstance(pat, Pattern) and pat.name == "x"
+
+
+class TestBatchedLookup:
+    def test_batch_equals_per_p_live_results(self, store):
+        Ps = [5, 9, 12, 23]
+        got = store.patterns_for(Ps, kernel="lu", budget=2)
+        for P, pat in zip(Ps, got):
+            live = best_pattern(P, kernel="lu")
+            assert pat == live
+            assert (pat.grid == live.grid).all()
+
+    def test_batch_cholesky_equals_live(self, store):
+        Ps = [5, 7, 10]
+        got = store.patterns_for(Ps, kernel="cholesky", budget=3)
+        for P, pat in zip(Ps, got):
+            live = best_pattern(P, kernel="cholesky", seeds=range(3),
+                                delta=True, jobs=1)
+            assert pat == live
+            assert (pat.grid == live.grid).all()
+
+    def test_results_align_with_input_order(self, store):
+        Ps = [11, 3, 7]
+        got = store.patterns_for(Ps, kernel="lu", budget=2)
+        assert [p.nnodes for p in got] == Ps
+
+    def test_second_call_served_from_store(self, store):
+        Ps = [4, 6]
+        first = store.patterns_for(Ps, kernel="lu", budget=2)
+        before = store.stats()
+        second = store.patterns_for(Ps, kernel="lu", budget=2)
+        after = store.stats()
+        assert after.fallbacks == before.fallbacks  # no new live searches
+        assert after.hot_hits == before.hot_hits + len(Ps)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_degenerate_batches_rejected(self, store):
+        with pytest.raises(ValueError, match="empty"):
+            store.patterns_for([], kernel="lu")
+        with pytest.raises(ValueError, match="duplicate"):
+            store.patterns_for([5, 7, 5], kernel="lu")
+        with pytest.raises(ValueError, match=">= 1"):
+            store.patterns_for([5, 0], kernel="lu")
+        with pytest.raises(ValueError, match="budget"):
+            store.patterns_for([5], kernel="lu", budget=0)
+        with pytest.raises(ValueError, match="kernel"):
+            store.patterns_for([5], kernel="qr")
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_jobs_independent(self, tmp_path, jobs):
+        """Identical batch results for every pool size (cold store)."""
+        store = PatternStore(tmp_path / f"j{jobs}", shard_size=8)
+        Ps = [23, 5, 13, 9, 31]
+        got = store.patterns_for(Ps, kernel="cholesky", budget=2, jobs=jobs)
+        ref = PatternStore(tmp_path / f"ref{jobs}", shard_size=8).patterns_for(
+            Ps, kernel="cholesky", budget=2, jobs=1)
+        for a, b in zip(got, ref):
+            assert a == b
+            assert a.grid.tobytes() == b.grid.tobytes()
+
+    def test_chunk_size_independent(self, tmp_path):
+        Ps = [3, 5, 8, 11, 14]
+        a = PatternStore(tmp_path / "c1", shard_size=8).patterns_for(
+            Ps, kernel="lu", budget=2, jobs=2, chunk_size=1)
+        b = PatternStore(tmp_path / "c5", shard_size=8).patterns_for(
+            Ps, kernel="lu", budget=2, jobs=2, chunk_size=5)
+        for x, y in zip(a, b):
+            assert x == y
+
+    def test_no_write_back_leaves_disk_cold(self, store):
+        store.patterns_for([5], kernel="lu", budget=2, write_back=False)
+        assert not store.shard_path(5, "lu").exists()
+
+
+class TestPrecompute:
+    def test_precompute_then_query(self, store):
+        summary = store.precompute(range(2, 18), kernel="lu", budget=2)
+        assert summary["computed"] == 16
+        assert summary["skipped"] == 0
+        assert len(summary["shards"]) == 3  # shard_size=8 -> 3 ranges
+        again = store.precompute(range(2, 18), kernel="lu", budget=2)
+        assert again["computed"] == 0 and again["skipped"] == 16
+        pats = store.patterns_for([2, 9, 17], kernel="lu", budget=2)
+        assert [p.nnodes for p in pats] == [2, 9, 17]
+        assert store.stats().fallbacks == 0
+
+    def test_force_recomputes(self, store):
+        store.precompute([4, 5], kernel="lu", budget=2)
+        summary = store.precompute([4, 5], kernel="lu", budget=2, force=True)
+        assert summary["computed"] == 2
+
+    def test_precompute_validates_batch(self, store):
+        with pytest.raises(ValueError, match="duplicate"):
+            store.precompute([3, 3], kernel="lu")
+
+
+class TestHotTierStats:
+    def test_exact_counters_in_seeded_scenario(self, tmp_path):
+        """Hit/miss/eviction counters are exact for a scripted access mix."""
+        PatternStore(tmp_path, shard_size=8).precompute(
+            [3, 4, 5], kernel="lu", budget=2)
+        # fresh store over the warmed directory: all counters start at 0
+        store = PatternStore(tmp_path, shard_size=8, hot_maxsize=2)
+        s0 = store.stats()
+        assert (s0.hot.hits, s0.hot.misses, s0.hot.evictions) == (0, 0, 0)
+
+        store.get(3, kernel="lu")      # hot miss -> cold hit, cached {3}
+        store.get(3, kernel="lu")      # hot hit            {3}
+        store.get(4, kernel="lu")      # hot miss -> cold hit, cached {3,4}
+        store.get(5, kernel="lu")      # hot miss -> cold hit, evicts 3 {4,5}
+        store.get(3, kernel="lu")      # hot miss again, evicts 4 {5,3}
+        info = store.stats().hot
+        assert info.hits == 1
+        assert info.misses == 4
+        assert info.evictions == 2
+        assert info.currsize == 2
+        stats = store.stats()
+        assert stats.hot_hits == 1
+        assert stats.cold_hits == 4
+        assert stats.misses == 0
+        assert stats.hit_rate == 1.0
+
+    def test_lru_recency_updated_by_get(self, tmp_path):
+        PatternStore(tmp_path, shard_size=8).precompute(
+            [3, 4, 5], kernel="lu", budget=2)
+        store = PatternStore(tmp_path, shard_size=8, hot_maxsize=2)
+        store.get(3, kernel="lu")
+        store.get(4, kernel="lu")
+        store.get(3, kernel="lu")      # refresh 3 -> LRU order [4, 3]
+        store.get(5, kernel="lu")      # evicts 4, not 3
+        info_before = store.stats().hot
+        store.get(3, kernel="lu")      # still hot
+        assert store.stats().hot.hits == info_before.hits + 1
+
+    def test_disabled_hot_tier(self, tmp_path):
+        store = PatternStore(tmp_path, shard_size=8, hot_maxsize=0)
+        store.precompute([3], kernel="lu", budget=2)
+        base = store.stats().shards_read
+        store.get(3, kernel="lu")
+        store.get(3, kernel="lu")
+        assert store.stats().shards_read == base + 2  # every get hits disk
+        assert store.stats().hot_hits == 0
+
+
+class TestLibraryIntegration:
+    def test_best_pattern_reads_through(self, tmp_path):
+        store = PatternStore(tmp_path, shard_size=8)
+        a = best_pattern(23, kernel="cholesky", seeds=range(2), store=store)
+        assert store.get(23, kernel="cholesky") == a  # persisted
+        b = best_pattern(23, kernel="cholesky", seeds=range(2), store=store)
+        live = best_pattern(23, kernel="cholesky", seeds=range(2))
+        assert a == b == live
+        assert store.stats().hot_hits >= 1
+
+    def test_best_pattern_store_respects_family(self, tmp_path):
+        store = PatternStore(tmp_path, shard_size=8)
+        g = best_pattern(10, kernel="lu", family="g2dbc", store=store)
+        assert store.get(10, kernel="lu", family="g2dbc") == g
+        assert store.get(10, kernel="lu") is None  # 'best' key untouched
+
+
+class TestCampaignIntegration:
+    def test_campaign_rows_identical_with_and_without_store(self, tmp_path):
+        from repro.experiments.campaign import plan_campaign, run_campaign
+
+        from repro.experiments import campaign as campaign_mod
+
+        # default shard size: workers open the store with defaults
+        store = PatternStore(tmp_path)
+        store.precompute([5, 7], kernel="lu", family="g2dbc", budget=2)
+        cells = plan_campaign(["g2dbc"], Ps=[5, 7], ms=[6])
+        campaign_mod._PATTERN_CACHE.clear()
+        plain = run_campaign(cells, jobs=1, tile_size=200)
+        campaign_mod._PATTERN_CACHE.clear()  # force the store-read path
+        stored = run_campaign(cells, jobs=1, tile_size=200,
+                              store_dir=str(tmp_path))
+        for a, b in zip(plain, stored):
+            assert a.as_dict() == b.as_dict()
