@@ -95,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault plan, e.g. 'fail:2@0.05,loss:0.01,seed:7' "
                         "(fail:N@T, slow:N@T0-T1xF, degrade:T0-T1xF, loss:P, "
                         "seed:N); runs a fault-free baseline for comparison")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="stream a Chrome-tracing JSON timeline to FILE "
+                        "(chrome://tracing / Perfetto); memory stays bounded "
+                        "no matter the task count")
     add_search_flags(p)
 
     p = sub.add_parser("campaign",
@@ -160,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-write-back", action="store_true",
                     help="do not persist live-search fallbacks")
     add_store_flags(sp)
+
+    sp = store_sub.add_parser(
+        "stats", help="shard inventory and hit/miss/eviction counters")
+    sp.add_argument("--dir", metavar="DIR", required=True,
+                    help="store directory holding the npz shards")
+    sp.add_argument("--nodes", "-P", nargs="+", type=int, default=None,
+                    metavar="P", help="probe these node counts through the "
+                    "tiers first (read-only; absent counts stay misses)")
+    sp.add_argument("--kernel", choices=("lu", "cholesky"),
+                    default="cholesky")
+    sp.add_argument("--family", default="best",
+                    help="family key for --nodes probes")
+    sp.add_argument("--shard-size", type=int, default=32, metavar="N")
 
     p = sub.add_parser("db", help="precompute a pattern database")
     p.add_argument("--max-nodes", type=int, required=True)
@@ -258,8 +275,18 @@ def cmd_simulate(args) -> int:
     from .runtime.stats import comm_breakdown, fault_breakdown
 
     pat = _get_pattern(args)
-    trace = run_factorization(pat, args.tiles, args.kernel,
-                              tile_size=args.tile_size, network=args.network)
+    writer = None
+    if args.trace_out:
+        from .runtime.tracefmt import ChromeTraceWriter
+
+        writer = ChromeTraceWriter(args.trace_out)
+    try:
+        trace = run_factorization(pat, args.tiles, args.kernel,
+                                  tile_size=args.tile_size,
+                                  network=args.network, trace_writer=writer)
+    finally:
+        if writer is not None:
+            writer.close()
     faulted = None
     if args.faults:
         faulted = run_factorization(pat, args.tiles, args.kernel,
@@ -273,6 +300,9 @@ def cmd_simulate(args) -> int:
     print(f"{'link_busy':<20}: {comm['link_busy_fraction']:,.4f}")
     print(f"{'eager/rendezvous':<20}: "
           f"{comm['n_eager']}/{comm['n_rendezvous']}")
+    if writer is not None:
+        print(f"{'trace_out':<20}: {args.trace_out} "
+              f"({writer.events_written} events, {writer.flushes} flushes)")
     if faulted is not None:
         print(f"\n--- degraded run ({args.faults}) ---")
         fb = fault_breakdown(faulted, baseline=trace)
@@ -315,6 +345,8 @@ def cmd_store(args) -> int:
     from .patterns.store import PatternStore
 
     store = PatternStore(args.dir, shard_size=args.shard_size)
+    if args.store_command == "stats":
+        return _store_stats(store, args)
     if args.store_command == "precompute":
         if (args.nodes is None) == (args.range is None):
             print("store precompute needs exactly one of --nodes / --range",
@@ -344,6 +376,61 @@ def cmd_store(args) -> int:
               f"shards read/written {s.shards_read}/{s.shards_written}, "
               f"hot tier {s.hot.currsize}/{s.hot.maxsize} "
               f"(evictions {s.hot.evictions})")
+    return 0
+
+
+def _store_stats(store, args) -> int:
+    """``repro store stats``: shard inventory + live-session counters."""
+    import numpy as np
+
+    from .cost.cache import COST_CACHE
+
+    if args.nodes:
+        for P in args.nodes:
+            store.get(P, kernel=args.kernel, family=args.family)
+
+    shards = sorted(store.root.glob("*.npz")) if store.root.is_dir() else []
+    groups: dict = {}
+    total = 0
+    for path in shards:
+        parts = path.stem.split("-", 2)
+        group = "-".join(parts[:2]) if len(parts) >= 3 else path.stem
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                Ps = z["Ps"]
+        except Exception:
+            print(f"  {path.name}: unreadable shard", file=sys.stderr)
+            continue
+        g = groups.setdefault(group, {"shards": 0, "patterns": 0,
+                                      "lo": None, "hi": None})
+        g["shards"] += 1
+        g["patterns"] += int(Ps.size)
+        total += int(Ps.size)
+        if Ps.size:
+            lo, hi = int(Ps.min()), int(Ps.max())
+            g["lo"] = lo if g["lo"] is None else min(g["lo"], lo)
+            g["hi"] = hi if g["hi"] is None else max(g["hi"], hi)
+    print(f"store {store.root}: {len(shards)} shard file(s), "
+          f"{total} pattern(s)")
+    for group in sorted(groups):
+        g = groups[group]
+        span = f"P {g['lo']}-{g['hi']}" if g["lo"] is not None else "empty"
+        print(f"  {group:<22} {g['shards']:>3} shard(s) "
+              f"{g['patterns']:>6} pattern(s)  {span}")
+
+    s = store.stats()
+    print("session counters (this process):")
+    print(f"  store  : hot hits {s.hot_hits}, cold hits {s.cold_hits}, "
+          f"misses {s.misses}, fallbacks {s.fallbacks}, "
+          f"hit rate {s.hit_rate:.1%}, "
+          f"shards read/written {s.shards_read}/{s.shards_written}")
+    print(f"  hot LRU: {s.hot.currsize}/{s.hot.maxsize} entries, "
+          f"hits {s.hot.hits}, misses {s.hot.misses}, "
+          f"evictions {s.hot.evictions}")
+    ci = COST_CACHE.cache_info()
+    print(f"  costs  : {ci.currsize}/{ci.maxsize} entries, "
+          f"hits {ci.hits}, misses {ci.misses}, "
+          f"evictions {ci.evictions}, hit rate {ci.hit_rate:.1%}")
     return 0
 
 

@@ -60,6 +60,7 @@ def run_factorization(
     record_tasks: bool = False,
     faults=None,
     recovery=None,
+    trace_writer=None,
 ) -> ExecutionTrace:
     """Simulate one factorization run under ``pattern``.
 
@@ -86,9 +87,12 @@ def run_factorization(
     if faults is not None and recovery is None:
         from ..runtime.faults import colrow_recovery
         recovery = colrow_recovery(pattern)
+    if trace_writer is not None and getattr(trace_writer, "graph", False) is None:
+        trace_writer.graph = graph  # kernel-labelled slices for free
     return simulate(graph, cluster, data_home=home,
                     network=network, record_tasks=record_tasks,
-                    faults=faults, recovery=recovery)
+                    faults=faults, recovery=recovery,
+                    trace_writer=trace_writer)
 
 
 def sweep(

@@ -1,0 +1,251 @@
+/* Compiled event loop for the default simulator configuration.
+ *
+ * Replicates, event for event, the Python hot path of
+ * ``repro.runtime.simulator`` for its default configuration: priority
+ * scheduler, no fork-join barrier, no per-task recording, NIC network
+ * model with point-to-point multicast.  The caller (``csim.py``) hands
+ * in the SimPlan arrays plus preallocated scratch; nothing is
+ * allocated here and no libc beyond the implicit runtime is used.
+ *
+ * Byte-identity contract:
+ *  - the event heap orders ``(time, tag)`` with unique tags exactly
+ *    like the Python tuple heap (tags are seq+etype, seq += 4);
+ *  - ready queues are per-node min-heaps of the packed priority keys;
+ *    keys are unique, so pop order is a pure function of the key set
+ *    and matches Python's single-list heaps bit for bit;
+ *  - NIC arithmetic is the verbatim max/add sequence of
+ *    ``NicModel.send`` on IEEE doubles (compile WITHOUT -ffast-math);
+ *  - per-node busy time accumulates in pop order, so the float sums
+ *    equal the Python path's.
+ *
+ * Event types (low two tag bits): 0 = TASK_DONE, 1 = MSG_ARRIVE.
+ */
+
+#include <stdint.h>
+
+typedef struct {
+    double *t;
+    int64_t *tag;
+    int64_t *pl;
+    int64_t n;
+} EvHeap;
+
+static void ev_push(EvHeap *h, double t, int64_t tag, int64_t pl)
+{
+    int64_t i = h->n++;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (t < h->t[p] || (t == h->t[p] && tag < h->tag[p])) {
+            h->t[i] = h->t[p];
+            h->tag[i] = h->tag[p];
+            h->pl[i] = h->pl[p];
+            i = p;
+        } else {
+            break;
+        }
+    }
+    h->t[i] = t;
+    h->tag[i] = tag;
+    h->pl[i] = pl;
+}
+
+static void ev_pop(EvHeap *h, double *t, int64_t *tag, int64_t *pl)
+{
+    *t = h->t[0];
+    *tag = h->tag[0];
+    *pl = h->pl[0];
+    int64_t n = --h->n;
+    if (n == 0)
+        return;
+    double lt = h->t[n];
+    int64_t ltag = h->tag[n], lpl = h->pl[n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        int64_t r = c + 1;
+        if (r < n && (h->t[r] < h->t[c] ||
+                      (h->t[r] == h->t[c] && h->tag[r] < h->tag[c])))
+            c = r;
+        if (h->t[c] < lt || (h->t[c] == lt && h->tag[c] < ltag)) {
+            h->t[i] = h->t[c];
+            h->tag[i] = h->tag[c];
+            h->pl[i] = h->pl[c];
+            i = c;
+        } else {
+            break;
+        }
+    }
+    h->t[i] = lt;
+    h->tag[i] = ltag;
+    h->pl[i] = lpl;
+}
+
+/* min-heap of int64 keys inside a per-node arena slice */
+static void rq_push(int64_t *a, int64_t n, int64_t key)
+{
+    int64_t i = n;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (key < a[p]) {
+            a[i] = a[p];
+            i = p;
+        } else {
+            break;
+        }
+    }
+    a[i] = key;
+}
+
+static int64_t rq_pop(int64_t *a, int64_t n)
+{
+    int64_t top = a[0];
+    int64_t last = a[--n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && a[c + 1] < a[c])
+            c = c + 1;
+        if (a[c] < last) {
+            a[i] = a[c];
+            i = c;
+        } else {
+            break;
+        }
+    }
+    a[i] = last;
+    return top;
+}
+
+int64_t repro_run_sim(
+    int64_t n_tasks, int64_t nnodes,
+    const int64_t *node, const double *dur, const int64_t *keys,
+    int64_t *pending,
+    const int64_t *ld_indptr, const int64_t *ld_tasks,
+    const int64_t *push_indptr, const int64_t *push_uids,
+    const int64_t *msg_dst,
+    const int64_t *w_indptr, const int64_t *w_tasks,
+    int64_t n_init, const int64_t *init_uids, const int64_t *init_src,
+    double msg_time, int64_t rx_ser,
+    /* scratch, preallocated by the caller */
+    double *ev_t, int64_t *ev_tag, int64_t *ev_pl,
+    int64_t *ready, const int64_t *rbase, int64_t *rsize,
+    int64_t *idle, double *tx_free, double *rx_free,
+    /* outputs */
+    double *busy, int64_t *msgs_sent, int64_t *msgs_recv,
+    double *tx_busy, double *rx_busy,
+    double *out_makespan, int64_t *out_counts /* [completed, n_messages] */)
+{
+    EvHeap h = { ev_t, ev_tag, ev_pl, 0 };
+    int64_t seq = 0;
+    int64_t n_messages = 0;
+    int64_t completed = 0;
+    double now = 0.0;
+
+#define NIC_SEND(uid_, src_, dst_, t_)                                  \
+    do {                                                                \
+        int64_t src__ = (src_), dst__ = (dst_);                         \
+        double t__ = (t_);                                              \
+        double start__ = t__ > tx_free[src__] ? t__ : tx_free[src__];   \
+        double wire__ = start__;                                        \
+        if (rx_ser && rx_free[dst__] > wire__)                          \
+            wire__ = rx_free[dst__];                                    \
+        double arr__ = wire__ + msg_time;                               \
+        tx_free[src__] = start__ + msg_time;                            \
+        rx_free[dst__] = arr__;                                         \
+        n_messages++;                                                   \
+        msgs_sent[src__]++;                                             \
+        msgs_recv[dst__]++;                                             \
+        tx_busy[src__] += msg_time;                                     \
+        rx_busy[dst__] += msg_time;                                     \
+        seq += 4;                                                       \
+        ev_push(&h, arr__, seq + 1, (uid_));                            \
+    } while (0)
+
+#define DISPATCH(n_, t_)                                                \
+    do {                                                                \
+        int64_t nn__ = (n_);                                            \
+        int64_t idl__ = idle[nn__];                                     \
+        int64_t *rq__ = ready + rbase[nn__];                            \
+        int64_t sz__ = rsize[nn__];                                     \
+        while (idl__ > 0 && sz__ > 0) {                                 \
+            int64_t key__ = rq_pop(rq__, sz__);                         \
+            sz__--;                                                     \
+            int64_t tid__ = key__ & 0xFFFFFFFFLL;                       \
+            idl__--;                                                    \
+            double d__ = dur[tid__];                                    \
+            busy[nn__] += d__;                                          \
+            seq += 4;                                                   \
+            ev_push(&h, (t_) + d__, seq, tid__);                        \
+        }                                                               \
+        idle[nn__] = idl__;                                             \
+        rsize[nn__] = sz__;                                             \
+    } while (0)
+
+    /* seed: version-0 fetches, then dependency-free tasks (ascending
+     * tid), then one dispatch per node in ascending node order */
+    for (int64_t i = 0; i < n_init; i++) {
+        int64_t uid = init_uids[i];
+        NIC_SEND(uid, init_src[i], msg_dst[uid], 0.0);
+    }
+    for (int64_t tid = 0; tid < n_tasks; tid++) {
+        if (pending[tid] == 0) {
+            int64_t n = node[tid];
+            rq_push(ready + rbase[n], rsize[n], keys[tid]);
+            rsize[n]++;
+        }
+    }
+    for (int64_t n = 0; n < nnodes; n++) {
+        if (rsize[n] > 0)
+            DISPATCH(n, 0.0);
+    }
+
+    while (h.n > 0) {
+        double t;
+        int64_t tag, pl;
+        ev_pop(&h, &t, &tag, &pl);
+        now = t;
+        if ((tag & 3) == 0) { /* TASK_DONE */
+            int64_t tid = pl;
+            completed++;
+            int64_t tn = node[tid];
+            for (int64_t p = push_indptr[tid]; p < push_indptr[tid + 1]; p++) {
+                int64_t uid = push_uids[p];
+                NIC_SEND(uid, tn, msg_dst[uid], now);
+            }
+            int64_t *rq = ready + rbase[tn];
+            for (int64_t q = ld_indptr[tid]; q < ld_indptr[tid + 1]; q++) {
+                int64_t dep = ld_tasks[q];
+                if (--pending[dep] == 0) {
+                    rq_push(rq, rsize[tn], keys[dep]);
+                    rsize[tn]++;
+                }
+            }
+            idle[tn]++;
+            DISPATCH(tn, now);
+        } else { /* MSG_ARRIVE */
+            int64_t uid = pl;
+            int64_t dst = msg_dst[uid];
+            int64_t any = 0;
+            int64_t *rq = ready + rbase[dst];
+            for (int64_t q = w_indptr[uid]; q < w_indptr[uid + 1]; q++) {
+                int64_t dep = w_tasks[q];
+                if (--pending[dep] == 0) {
+                    rq_push(rq, rsize[dst], keys[dep]);
+                    rsize[dst]++;
+                    any = 1;
+                }
+            }
+            if (any)
+                DISPATCH(dst, now);
+        }
+    }
+
+    *out_makespan = now;
+    out_counts[0] = completed;
+    out_counts[1] = n_messages;
+    return 0;
+}

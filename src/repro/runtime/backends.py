@@ -1,0 +1,67 @@
+"""Simulator backend selection (numba JIT > compiled C > pure Python).
+
+The event loop of :func:`repro.runtime.simulator.simulate` has three
+interchangeable implementations for its default configuration
+(priority scheduler, no fork-join, no recording, NIC network, p2p
+multicast):
+
+* ``numba`` — :mod:`.jit`, used when numba is installed;
+* ``c``     — :mod:`.csim`, compiled on demand with the system C
+  compiler;
+* ``python`` — the batch-drained pure-Python loop, always available.
+
+All three produce byte-identical event schedules (the golden and
+cross-backend equivalence tests pin this).  ``REPRO_SIM_BACKEND``
+overrides the automatic choice: ``auto`` (default), ``numba``, ``c``
+or ``python``; naming an unavailable backend falls back to Python
+rather than failing, so the variable is safe to set fleet-wide.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Tuple
+
+__all__ = ["select_backend", "active_backend", "BACKEND_ENV"]
+
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+_cached: Optional[Tuple[str, Optional[Callable]]] = None
+_cached_env: Optional[str] = None
+
+
+def select_backend() -> Tuple[str, Optional[Callable]]:
+    """Resolve ``(name, runner)`` for the accelerated event loop.
+
+    ``runner`` is ``None`` when only the pure-Python loop is usable.
+    The choice is cached per ``REPRO_SIM_BACKEND`` value, so tests can
+    monkeypatch the environment and re-resolve.
+    """
+    global _cached, _cached_env
+    env = os.environ.get(BACKEND_ENV, "auto").lower()
+    if _cached is not None and env == _cached_env:
+        return _cached
+    choice = _resolve(env)
+    _cached, _cached_env = choice, env
+    return choice
+
+
+def _resolve(env: str) -> Tuple[str, Optional[Callable]]:
+    from . import csim, jit
+    if env == "python":
+        return "python", None
+    if env == "numba":
+        return ("numba", jit.run) if jit.available() else ("python", None)
+    if env == "c":
+        return ("c", csim.run) if csim.available() else ("python", None)
+    # auto: prefer the JIT when installed, else the compiled loop
+    if jit.available():
+        return "numba", jit.run
+    if csim.available():
+        return "c", csim.run
+    return "python", None
+
+
+def active_backend() -> str:
+    """Name of the backend ``simulate`` will use for eligible runs."""
+    return select_backend()[0]

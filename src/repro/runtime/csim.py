@@ -1,0 +1,176 @@
+"""Runtime-compiled C backend for the simulator's default hot path.
+
+Compiles ``_fastsim.c`` with the system C compiler on first use
+(``cc -O2 -fPIC -shared``, **no** ``-ffast-math`` — the event loop's
+double arithmetic must stay IEEE-identical to Python's) into a cache
+directory keyed by the source hash, and binds it through
+:mod:`ctypes`/:mod:`numpy.ctypeslib`.  Everything is fail-soft: no
+compiler, a failed compile, or a missing source file simply makes
+:func:`available` return ``False`` and the simulator falls back to the
+pure-Python loop.  Set ``REPRO_SIM_BACKEND=python`` (or ``numba``) to
+bypass this backend entirely; ``REPRO_CACHE_DIR`` overrides where the
+shared object is cached.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+__all__ = ["available", "run", "FastSimResult"]
+
+_SRC = Path(__file__).with_name("_fastsim.c")
+_lib = None
+_load_tried = False
+
+_I64 = ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64 = ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / f"repro-fastsim-{os.getuid()}"
+
+
+def _load():
+    """Compile (if needed) and bind the shared object; None on failure."""
+    global _lib, _load_tried
+    if _load_tried:
+        return _lib
+    _load_tried = True
+    try:
+        src = _SRC.read_bytes()
+        tag = hashlib.sha256(src).hexdigest()[:16]
+        cache = _cache_dir()
+        cache.mkdir(parents=True, exist_ok=True)
+        so = cache / f"fastsim_{tag}.so"
+        if not so.exists():
+            cc = os.environ.get("CC", "cc")
+            tmp = cache / f".fastsim_{tag}.{os.getpid()}.so"
+            subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(_SRC)],
+                check=True, capture_output=True, timeout=120)
+            os.replace(tmp, so)  # atomic: concurrent builders race safely
+        lib = ctypes.CDLL(str(so))
+        fn = lib.repro_run_sim
+        fn.restype = ctypes.c_int64
+        fn.argtypes = [
+            ctypes.c_int64, ctypes.c_int64,            # n_tasks, nnodes
+            _I64, _F64, _I64,                          # node, dur, keys
+            _I64,                                      # pending (mutated)
+            _I64, _I64,                                # ld_indptr, ld_tasks
+            _I64, _I64,                                # push_indptr, push_uids
+            _I64,                                      # msg_dst
+            _I64, _I64,                                # w_indptr, w_tasks
+            ctypes.c_int64, _I64, _I64,                # n_init, init_uids, init_src
+            ctypes.c_double, ctypes.c_int64,           # msg_time, rx_ser
+            _F64, _I64, _I64,                          # event heap scratch
+            _I64, _I64, _I64,                          # ready arena, base, size
+            _I64, _F64, _F64,                          # idle, tx_free, rx_free
+            _F64, _I64, _I64,                          # busy, msgs_sent, msgs_recv
+            _F64, _F64,                                # tx_busy, rx_busy
+            _F64, _I64,                                # out_makespan, out_counts
+        ]
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled loop is usable on this machine."""
+    return _load() is not None
+
+
+@dataclass
+class FastSimResult:
+    """Raw outputs of one compiled event-loop run."""
+
+    makespan: float
+    completed: int
+    n_messages: int
+    busy: np.ndarray
+    msgs_sent: np.ndarray
+    msgs_recv: np.ndarray
+    tx_busy: np.ndarray
+    rx_busy: np.ndarray
+    pending: np.ndarray  #: post-run prerequisite counts (deadlock forensics)
+
+
+def run(plan, dur: np.ndarray, nnodes: int, cores_per_node: int,
+        msg_time: float, rx_ser: bool) -> Optional[FastSimResult]:
+    """Run the compiled loop over a :class:`~.simplan.SimPlan`.
+
+    Returns ``None`` when the backend is unavailable.  ``dur`` is the
+    per-task duration vector (cluster-dependent, so not in the plan).
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    n_tasks = plan.n_tasks
+    cap = n_tasks + plan.n_msgs + 1
+    ev_t = np.empty(cap, dtype=np.float64)
+    ev_tag = np.empty(cap, dtype=np.int64)
+    ev_pl = np.empty(cap, dtype=np.int64)
+    # a task enters only its own node's ready heap, at most once: one
+    # arena of n_tasks slots, nodes offset by their task counts
+    node = np.ascontiguousarray(plan.node, dtype=np.int64)
+    counts = np.bincount(node, minlength=nnodes)
+    rbase = np.zeros(nnodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=rbase[1:])
+    ready = np.empty(max(n_tasks, 1), dtype=np.int64)
+    rsize = np.zeros(nnodes, dtype=np.int64)
+    idle = np.full(nnodes, cores_per_node, dtype=np.int64)
+    tx_free = np.zeros(nnodes, dtype=np.float64)
+    rx_free = np.zeros(nnodes, dtype=np.float64)
+    busy = np.zeros(nnodes, dtype=np.float64)
+    msgs_sent = np.zeros(nnodes, dtype=np.int64)
+    msgs_recv = np.zeros(nnodes, dtype=np.int64)
+    tx_busy = np.zeros(nnodes, dtype=np.float64)
+    rx_busy = np.zeros(nnodes, dtype=np.float64)
+    out_makespan = np.zeros(1, dtype=np.float64)
+    out_counts = np.zeros(2, dtype=np.int64)
+    pending = np.ascontiguousarray(plan.pending, dtype=np.int64).copy()
+    status = lib.repro_run_sim(
+        n_tasks, nnodes,
+        node, np.ascontiguousarray(dur, dtype=np.float64),
+        np.ascontiguousarray(plan.keys, dtype=np.int64),
+        pending,
+        np.ascontiguousarray(plan.ld_indptr, dtype=np.int64),
+        np.ascontiguousarray(plan.ld_tasks, dtype=np.int64),
+        np.ascontiguousarray(plan.push_indptr, dtype=np.int64),
+        np.ascontiguousarray(plan.push_uids, dtype=np.int64),
+        np.ascontiguousarray(plan.msg_dst, dtype=np.int64),
+        np.ascontiguousarray(plan.w_indptr, dtype=np.int64),
+        np.ascontiguousarray(plan.w_tasks, dtype=np.int64),
+        len(plan.init_uids),
+        np.ascontiguousarray(plan.init_uids, dtype=np.int64),
+        np.ascontiguousarray(plan.msg_src[plan.init_uids]
+                             if len(plan.init_uids) else
+                             np.zeros(0, dtype=np.int64), dtype=np.int64),
+        float(msg_time), int(bool(rx_ser)),
+        ev_t, ev_tag, ev_pl,
+        ready, rbase, rsize,
+        idle, tx_free, rx_free,
+        busy, msgs_sent, msgs_recv,
+        tx_busy, rx_busy,
+        out_makespan, out_counts)
+    if status != 0:  # pragma: no cover - no failing status is emitted yet
+        return None
+    return FastSimResult(
+        makespan=float(out_makespan[0]),
+        completed=int(out_counts[0]),
+        n_messages=int(out_counts[1]),
+        busy=busy, msgs_sent=msgs_sent, msgs_recv=msgs_recv,
+        tx_busy=tx_busy, rx_busy=rx_busy, pending=pending)

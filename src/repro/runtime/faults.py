@@ -383,6 +383,7 @@ def simulate_with_faults(
     record_tasks: bool = False,
     network: Union[str, NetworkModel, None] = None,
     recovery: Optional[Callable[[int, Sequence[int]], Sequence[int]]] = None,
+    trace_writer=None,
 ) -> ExecutionTrace:
     """Simulate ``graph`` on ``cluster`` under a :class:`FaultPlan`.
 
@@ -396,6 +397,13 @@ def simulate_with_faults(
     candidates for a failed node (``None`` = every survivor;
     :func:`colrow_recovery` builds the pattern-aware policy).  Not
     supported together with ``cluster.fork_join``.
+
+    ``trace_writer`` (a :class:`~repro.runtime.trace.TraceWriter`)
+    streams message records and fault events as they happen; task
+    records are buffered until the end because a node failure can
+    *retract* the records of aborted tasks, which a streaming sink
+    cannot undo — only the surviving records are written.  Fault runs
+    are experiment-scale, so this buffering stays small.
     """
     plan = parse_faults(faults) if isinstance(faults, str) else (faults or FaultPlan())
     if cluster.fork_join:
@@ -490,7 +498,8 @@ def simulate_with_faults(
     running: List[Dict[int, tuple]] = [dict() for _ in range(P)]
     dead = [False] * P
     inflight: Set[tuple] = set()          # (ref, dst) transfers underway
-    records: Optional[List[Optional[TaskRecord]]] = [] if record_tasks else None
+    recording = record_tasks or trace_writer is not None
+    records: Optional[List[Optional[TaskRecord]]] = [] if recording else None
     completion = np.zeros(n_tasks) if record_tasks else None
     speeds = list(cluster.node_speeds) if cluster.node_speeds else None
 
@@ -504,7 +513,7 @@ def simulate_with_faults(
         seq += 4
         heappush(events, (time, seq + etype, payload))
 
-    model.bind(cluster, push_event, record=record_tasks)
+    model.bind(cluster, push_event, record=recording, writer=trace_writer)
 
     fault_events: List[FaultEvent] = []
     for w in plan.stragglers:
@@ -788,10 +797,20 @@ def simulate_with_faults(
             events=all_events,
         )
 
+    if trace_writer is not None and fault_stats is not None:
+        for e in fault_stats.events:
+            trace_writer.write_fault(e)
+
     net_stats = model.stats()
     final_records = None
     if records is not None:
-        final_records = [r for r in records if r is not None]
+        survivors = [r for r in records if r is not None]
+        if trace_writer is not None:
+            for r in survivors:
+                trace_writer.write_task(r)
+            trace_writer.flush()
+        if record_tasks:
+            final_records = survivors
     return ExecutionTrace(
         cluster=cluster,
         makespan=finish,

@@ -216,6 +216,36 @@ class TaskGraph:
         return {"kind": [], "i": [], "j": [], "k": [], "node": [], "flops": [],
                 "wd": [], "wv": [], "rc": [], "rd": [], "rv": []}
 
+    @classmethod
+    def from_columns(cls, cat: Dict[str, np.ndarray], n_data: int,
+                     nnodes: int, total_flops: float) -> "TaskGraph":
+        """Rehydrate a finalized graph from its raw column chunk.
+
+        ``cat`` uses the internal chunk keys (``kind``/``i``/``j``/``k``/
+        ``node``/``flops``/``wd``/``wv``/``rc``/``rd``/``rv``) and is
+        adopted **by reference** — the arrays may live in a read-only
+        shared-memory segment (:mod:`repro.runtime.shmgraph` attaches
+        campaign workers this way); nothing here writes to them.
+        ``total_flops`` must be the publisher's sequential sum so
+        simulated traces stay byte-identical to the original graph's.
+        """
+        g = cls.__new__(cls)
+        g.n_data = n_data
+        g.nnodes = nnodes
+        # versions are dense per datum, so the current version is the
+        # write count — no need to scan for the max
+        g._version = np.bincount(cat["wd"], minlength=n_data).astype(np.int64)
+        g._chunks = [dict(cat)]
+        g._stage = cls._empty_stage()
+        g._n = int(len(cat["kind"]))
+        g._total_flops = float(total_flops)
+        g._gen = 1
+        g._cols = None
+        g._cols_gen = -1
+        g._derived = {}
+        g._producer_view = _ProducerMap(g)
+        return g
+
     # ------------------------------------------------------------------
     # building
     # ------------------------------------------------------------------
@@ -466,6 +496,30 @@ class TaskGraph:
 
     def _compute_read_producer(self):
         cols = self._cols
+        n = len(cols.write_data)
+        if n:
+            # Direct (data, version) → tid scatter table.  Versions are
+            # dense and start at 1, so ``d*width + v`` is injective over
+            # writes and the ``v == 0`` cells stay -1, which is exactly
+            # the sentinel version-0 reads must map to.  This replaces
+            # the stable argsort behind ``writer_index`` on the planning
+            # hot path; the guard keeps the table near the size of the
+            # columns themselves so degenerate version counts (one datum
+            # written a million times, a million data written once)
+            # cannot blow memory — those fall back to ``producer_for``.
+            width = int(cols.write_version.max()) + 1
+            size = self.n_data * width
+            if size <= 4 * (n + len(cols.read_data)) + 1024:
+                table = np.full(size, -1, dtype=np.int64)
+                table[cols.write_data * width + cols.write_version] = \
+                    np.arange(n, dtype=np.int64)
+                rd = cols.read_data
+                rv = cols.read_version
+                if int(rv.max(initial=0)) < width:
+                    return table[rd * width + rv]
+                in_range = rv < width
+                idx = np.where(in_range, rd * width + rv, 0)
+                return np.where(in_range, table[idx], -1)
         return self.producer_for(cols.read_data, cols.read_version)
 
     @property

@@ -1,0 +1,284 @@
+"""Optional numba-JIT backend for the simulator's default hot path.
+
+A line-for-line transliteration of ``_fastsim.c`` into an
+``@numba.njit(cache=True)`` kernel: same event heap (``(time, tag)``
+with unique seq-tags), same per-node ready-heap arena, same verbatim
+NIC double arithmetic — so its event schedules are byte-identical to
+both the C backend and the pure-Python loop (the cross-backend
+equivalence tests assert this).
+
+The module is import-guarded: when numba is not installed,
+:func:`available` returns ``False`` and nothing else is touched — this
+repo never requires numba at runtime.  The CI matrix has one leg with
+numba installed that runs the full equivalence suite through this path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .csim import FastSimResult
+
+__all__ = ["available", "run"]
+
+try:  # pragma: no cover - exercised only on numba-installed CI legs
+    import numba
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover
+    numba = None
+    _HAVE_NUMBA = False
+
+_kernel = None
+
+
+def available() -> bool:
+    """True when numba is importable (the kernel compiles lazily)."""
+    return _HAVE_NUMBA
+
+
+def _build_kernel():  # pragma: no cover - needs numba
+    @numba.njit(cache=True)
+    def run_sim(n_tasks, nnodes, node, dur, keys, pending,
+                ld_indptr, ld_tasks, push_indptr, push_uids,
+                msg_dst, w_indptr, w_tasks,
+                init_uids, init_src, msg_time, rx_ser,
+                ev_t, ev_tag, ev_pl, ready, rbase, rsize,
+                idle, tx_free, rx_free,
+                busy, msgs_sent, msgs_recv, tx_busy, rx_busy,
+                out_makespan, out_counts):
+        hn = 0
+        seq = np.int64(0)
+        n_messages = 0
+        completed = 0
+        now = 0.0
+
+        def ev_push(hn, t, tag, pl):
+            i = hn
+            while i > 0:
+                p = (i - 1) >> 1
+                if t < ev_t[p] or (t == ev_t[p] and tag < ev_tag[p]):
+                    ev_t[i] = ev_t[p]
+                    ev_tag[i] = ev_tag[p]
+                    ev_pl[i] = ev_pl[p]
+                    i = p
+                else:
+                    break
+            ev_t[i] = t
+            ev_tag[i] = tag
+            ev_pl[i] = pl
+            return hn + 1
+
+        def rq_push(base, n, key):
+            i = n
+            while i > 0:
+                p = (i - 1) >> 1
+                if key < ready[base + p]:
+                    ready[base + i] = ready[base + p]
+                    i = p
+                else:
+                    break
+            ready[base + i] = key
+
+        def rq_pop(base, n):
+            top = ready[base]
+            n -= 1
+            last = ready[base + n]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= n:
+                    break
+                if c + 1 < n and ready[base + c + 1] < ready[base + c]:
+                    c += 1
+                if ready[base + c] < last:
+                    ready[base + i] = ready[base + c]
+                    i = c
+                else:
+                    break
+            ready[base + i] = last
+            return top
+
+        def nic_send(hn, seq, n_messages, uid, src, dst, t):
+            start = t if t > tx_free[src] else tx_free[src]
+            wire = start
+            if rx_ser and rx_free[dst] > wire:
+                wire = rx_free[dst]
+            arr = wire + msg_time
+            tx_free[src] = start + msg_time
+            rx_free[dst] = arr
+            n_messages += 1
+            msgs_sent[src] += 1
+            msgs_recv[dst] += 1
+            tx_busy[src] += msg_time
+            rx_busy[dst] += msg_time
+            seq += 4
+            hn = ev_push(hn, arr, seq + 1, uid)
+            return hn, seq, n_messages
+
+        def dispatch(hn, seq, n, t):
+            idl = idle[n]
+            sz = rsize[n]
+            base = rbase[n]
+            while idl > 0 and sz > 0:
+                key = rq_pop(base, sz)
+                sz -= 1
+                tid = key & np.int64(0xFFFFFFFF)
+                idl -= 1
+                d = dur[tid]
+                busy[n] += d
+                seq += 4
+                hn = ev_push(hn, t + d, seq, tid)
+            idle[n] = idl
+            rsize[n] = sz
+            return hn, seq
+
+        for i in range(len(init_uids)):
+            uid = init_uids[i]
+            hn, seq, n_messages = nic_send(
+                hn, seq, n_messages, uid, init_src[i], msg_dst[uid], 0.0)
+        for tid in range(n_tasks):
+            if pending[tid] == 0:
+                n = node[tid]
+                rq_push(rbase[n], rsize[n], keys[tid])
+                rsize[n] += 1
+        for n in range(nnodes):
+            if rsize[n] > 0:
+                hn, seq = dispatch(hn, seq, n, 0.0)
+
+        while hn > 0:
+            t = ev_t[0]
+            tag = ev_tag[0]
+            pl = ev_pl[0]
+            # pop root, sift last element down
+            hn -= 1
+            if hn > 0:
+                lt = ev_t[hn]
+                ltag = ev_tag[hn]
+                lpl = ev_pl[hn]
+                i = 0
+                while True:
+                    c = 2 * i + 1
+                    if c >= hn:
+                        break
+                    r = c + 1
+                    if r < hn and (ev_t[r] < ev_t[c] or
+                                   (ev_t[r] == ev_t[c] and ev_tag[r] < ev_tag[c])):
+                        c = r
+                    if ev_t[c] < lt or (ev_t[c] == lt and ev_tag[c] < ltag):
+                        ev_t[i] = ev_t[c]
+                        ev_tag[i] = ev_tag[c]
+                        ev_pl[i] = ev_pl[c]
+                        i = c
+                    else:
+                        break
+                ev_t[i] = lt
+                ev_tag[i] = ltag
+                ev_pl[i] = lpl
+            now = t
+            if (tag & 3) == 0:  # TASK_DONE
+                tid = pl
+                completed += 1
+                tn = node[tid]
+                for p in range(push_indptr[tid], push_indptr[tid + 1]):
+                    uid = push_uids[p]
+                    hn, seq, n_messages = nic_send(
+                        hn, seq, n_messages, uid, tn, msg_dst[uid], now)
+                for q in range(ld_indptr[tid], ld_indptr[tid + 1]):
+                    dep = ld_tasks[q]
+                    pending[dep] -= 1
+                    if pending[dep] == 0:
+                        rq_push(rbase[tn], rsize[tn], keys[dep])
+                        rsize[tn] += 1
+                idle[tn] += 1
+                hn, seq = dispatch(hn, seq, tn, now)
+            else:  # MSG_ARRIVE
+                uid = pl
+                dst = msg_dst[uid]
+                any_ready = False
+                for q in range(w_indptr[uid], w_indptr[uid + 1]):
+                    dep = w_tasks[q]
+                    pending[dep] -= 1
+                    if pending[dep] == 0:
+                        rq_push(rbase[dst], rsize[dst], keys[dep])
+                        rsize[dst] += 1
+                        any_ready = True
+                if any_ready:
+                    hn, seq = dispatch(hn, seq, dst, now)
+
+        out_makespan[0] = now
+        out_counts[0] = completed
+        out_counts[1] = n_messages
+        return 0
+
+    return run_sim
+
+
+def run(plan, dur: np.ndarray, nnodes: int, cores_per_node: int,
+        msg_time: float, rx_ser: bool) -> Optional[FastSimResult]:
+    """Run the JIT loop over a plan; ``None`` when numba is missing or
+    the kernel fails to compile (fail-soft, like the C backend)."""
+    global _kernel
+    if not _HAVE_NUMBA:
+        return None
+    if _kernel is None:  # pragma: no cover - needs numba
+        try:
+            _kernel = _build_kernel()
+        except Exception:
+            return None
+    n_tasks = plan.n_tasks
+    cap = n_tasks + plan.n_msgs + 1
+    ev_t = np.empty(cap, dtype=np.float64)
+    ev_tag = np.empty(cap, dtype=np.int64)
+    ev_pl = np.empty(cap, dtype=np.int64)
+    node = np.ascontiguousarray(plan.node, dtype=np.int64)
+    counts = np.bincount(node, minlength=nnodes)
+    rbase = np.zeros(nnodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=rbase[1:])
+    ready = np.empty(max(n_tasks, 1), dtype=np.int64)
+    rsize = np.zeros(nnodes, dtype=np.int64)
+    idle = np.full(nnodes, cores_per_node, dtype=np.int64)
+    tx_free = np.zeros(nnodes, dtype=np.float64)
+    rx_free = np.zeros(nnodes, dtype=np.float64)
+    busy = np.zeros(nnodes, dtype=np.float64)
+    msgs_sent = np.zeros(nnodes, dtype=np.int64)
+    msgs_recv = np.zeros(nnodes, dtype=np.int64)
+    tx_busy = np.zeros(nnodes, dtype=np.float64)
+    rx_busy = np.zeros(nnodes, dtype=np.float64)
+    out_makespan = np.zeros(1, dtype=np.float64)
+    out_counts = np.zeros(2, dtype=np.int64)
+    pending = np.ascontiguousarray(plan.pending, dtype=np.int64).copy()
+    init_uids = np.ascontiguousarray(plan.init_uids, dtype=np.int64)
+    init_src = (np.ascontiguousarray(plan.msg_src[plan.init_uids],
+                                     dtype=np.int64)
+                if len(plan.init_uids) else np.zeros(0, dtype=np.int64))
+    try:  # pragma: no cover - needs numba
+        status = _kernel(
+            n_tasks, nnodes, node,
+            np.ascontiguousarray(dur, dtype=np.float64),
+            np.ascontiguousarray(plan.keys, dtype=np.int64),
+            pending,
+            np.ascontiguousarray(plan.ld_indptr, dtype=np.int64),
+            np.ascontiguousarray(plan.ld_tasks, dtype=np.int64),
+            np.ascontiguousarray(plan.push_indptr, dtype=np.int64),
+            np.ascontiguousarray(plan.push_uids, dtype=np.int64),
+            np.ascontiguousarray(plan.msg_dst, dtype=np.int64),
+            np.ascontiguousarray(plan.w_indptr, dtype=np.int64),
+            np.ascontiguousarray(plan.w_tasks, dtype=np.int64),
+            init_uids, init_src, float(msg_time), bool(rx_ser),
+            ev_t, ev_tag, ev_pl, ready, rbase, rsize,
+            idle, tx_free, rx_free,
+            busy, msgs_sent, msgs_recv, tx_busy, rx_busy,
+            out_makespan, out_counts)
+    except Exception:  # pragma: no cover
+        return None
+    if status != 0:  # pragma: no cover
+        return None
+    return FastSimResult(
+        makespan=float(out_makespan[0]),
+        completed=int(out_counts[0]),
+        n_messages=int(out_counts[1]),
+        busy=busy, msgs_sent=msgs_sent, msgs_recv=msgs_recv,
+        tx_busy=tx_busy, rx_busy=rx_busy, pending=pending)

@@ -121,7 +121,15 @@ class NetworkModel:
 
     def bind(self, cluster: ClusterSpec,
              push_event: Callable[[float, int, object], None],
-             record: bool = False) -> None:
+             record: bool = False, writer=None) -> None:
+        """Attach the model to one run.
+
+        ``record=True`` accumulates :class:`MsgRecord` lists in memory
+        (the legacy behavior); passing a
+        :class:`~repro.runtime.trace.TraceWriter` as ``writer`` streams
+        each record out instead and leaves ``msg_records`` ``None`` —
+        bounded-memory recording for large runs.
+        """
         self.cluster = cluster
         self._push = push_event
         P = cluster.nnodes
@@ -132,7 +140,9 @@ class NetworkModel:
         self.bytes_recv = np.zeros(P)
         self.tx_busy = np.zeros(P)
         self.rx_busy = np.zeros(P)
-        self.msg_records: Optional[List[MsgRecord]] = [] if record else None
+        self._writer = writer
+        self.msg_records: Optional[List[MsgRecord]] = \
+            [] if record and writer is None else None
         self._bind()
 
     def _bind(self) -> None:  # pragma: no cover - overridden
@@ -154,7 +164,11 @@ class NetworkModel:
     # ------------------------------------------------------------------
     def _record(self, ref: DataRef, src: int, dst: int,
                 start: float, end: float, nbytes: float) -> None:
-        if self.msg_records is not None:
+        if self._writer is not None:
+            self._writer.write_msg(
+                MsgRecord(data=ref[0], version=ref[1], src=src, dst=dst,
+                          start=start, end=end, nbytes=nbytes))
+        elif self.msg_records is not None:
             self.msg_records.append(
                 MsgRecord(data=ref[0], version=ref[1], src=src, dst=dst,
                           start=start, end=end, nbytes=nbytes))
@@ -222,7 +236,7 @@ class NicModel(NetworkModel):
         self.bytes_recv[dst] += nbytes
         self.tx_busy[src] += mt
         self.rx_busy[dst] += mt
-        if self.msg_records is not None:
+        if self.msg_records is not None or self._writer is not None:
             self._record(ref, src, dst, start, arrival, nbytes)
         self._push(arrival, EVENT_MSG_ARRIVE, (ref, dst))
 
@@ -481,12 +495,12 @@ class ResilientNetwork(NetworkModel):
 
     def bind(self, cluster: ClusterSpec,
              push_event: Callable[[float, int, object], None],
-             record: bool = False) -> None:
+             record: bool = False, writer=None) -> None:
         from .faults import FaultEvent  # late: faults imports this module
         self._FaultEvent = FaultEvent
         self.cluster = cluster
         self._push = push_event
-        self.inner.bind(cluster, push_event, record=record)
+        self.inner.bind(cluster, push_event, record=record, writer=writer)
         plan = self.plan
         self._rng = np.random.Generator(np.random.PCG64(plan.seed))
         self._timeout = (plan.retry_timeout_s if plan.retry_timeout_s is not None

@@ -1,0 +1,168 @@
+"""Task graphs in POSIX shared memory for campaign process pools.
+
+A campaign grid evaluates the same ``(family, kernel, P, m)`` graph
+under many networks, bandwidths and fault plans.  Before this module,
+every pool worker rebuilt that graph from scratch for every cell —
+at ``m = 128`` a seven-figure-task build repeated ``jobs × cells``
+times.  Now the parent builds each unique graph **once**, publishes
+its column arrays into one :class:`multiprocessing.shared_memory`
+segment, and ships only the segment *name* (a few hundred bytes of
+:class:`SharedGraphRef`) through the pool.  Workers attach by name and
+wrap the buffer zero-copy with :meth:`TaskGraph.from_columns` — the
+graph's columns are mapped, not copied, so campaign RSS scales with
+the number of *unique graphs*, not ``jobs × graphs``.
+
+Lifecycle contract
+------------------
+* The **publisher** (campaign parent) owns every segment: it keeps the
+  handle in a registry and must call :func:`unpublish` (or
+  :func:`unpublish_all`) when the pool is done — ``run_campaign`` does
+  this in a ``finally``.
+* **Attachers** (pool workers) never unlink.  Python's
+  ``resource_tracker`` would otherwise destroy the segment when the
+  first worker exits (a long-standing CPython gotcha), so
+  :func:`attach_graph` unregisters the attachment from the tracker and
+  simply leaves the mapping open for the worker's lifetime.
+* Attached arrays are marked read-only; a worker that tried to mutate
+  a shared graph would raise instead of racing its siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import TaskGraph
+
+__all__ = ["SharedGraphRef", "publish_graph", "attach_graph",
+           "unpublish", "unpublish_all"]
+
+
+@dataclass(frozen=True)
+class SharedGraphRef:
+    """Picklable handle to a published graph (ship this, not arrays).
+
+    ``fields`` lays out the packed segment: one ``(key, dtype, length,
+    offset)`` record per column, in publication order.  A ``"home"``
+    field, when present, carries the ``data_home`` array published
+    alongside the graph.
+    """
+
+    name: str                #: shared-memory segment name
+    n_data: int
+    nnodes: int
+    total_flops: float       #: publisher's exact sequential flops sum
+    fields: Tuple[Tuple[str, str, int, int], ...]
+
+
+#: publisher-side registry: segment name -> SharedMemory handle
+_PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: attacher-side cache: segment name -> (handle, graph, home)
+_ATTACHED: Dict[str, tuple] = {}
+
+
+def publish_graph(graph: TaskGraph,
+                  data_home: Optional[np.ndarray] = None) -> SharedGraphRef:
+    """Copy ``graph``'s finalized columns into a new shared segment.
+
+    Returns the :class:`SharedGraphRef` to ship to workers.  The
+    segment stays alive (and registered) until :func:`unpublish`.
+    """
+    cols = graph.columns
+    arrays = {
+        "kind": cols.kind, "i": cols.i, "j": cols.j, "k": cols.k,
+        "node": cols.node, "flops": cols.flops,
+        "wd": cols.write_data, "wv": cols.write_version,
+        "rc": np.diff(cols.read_indptr),
+        "rd": cols.read_data, "rv": cols.read_version,
+    }
+    if data_home is not None:
+        arrays["home"] = np.ascontiguousarray(data_home, dtype=np.int64)
+    fields = []
+    offset = 0
+    for key, a in arrays.items():
+        a = np.ascontiguousarray(a)
+        arrays[key] = a
+        fields.append((key, a.dtype.str, int(a.size), offset))
+        offset += a.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (key, dt, size, off), a in zip(fields, arrays.values()):
+        np.frombuffer(shm.buf, dtype=dt, count=size, offset=off)[:] = a
+    _PUBLISHED[shm.name] = shm
+    return SharedGraphRef(name=shm.name, n_data=graph.n_data,
+                          nnodes=graph.nnodes,
+                          total_flops=float(graph.total_flops),
+                          fields=tuple(fields))
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without resource-tracker registration.
+
+    Only the publisher owns the segment.  If attachers registered it
+    too (the pre-3.13 default), their ``unregister`` on detach would
+    race the publisher's unlink-time ``unregister`` inside the shared
+    tracker process — and a tracker that outlives the publisher would
+    destroy segments still in use.  Python 3.13 grew ``track=False``
+    for exactly this; earlier versions need the registration call
+    suppressed for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+def attach_graph(ref: SharedGraphRef) -> Tuple[TaskGraph, Optional[np.ndarray]]:
+    """Map a published graph into this process (cached per segment).
+
+    Returns ``(graph, data_home)`` with every column a zero-copy,
+    read-only view of the shared buffer.  Safe to call repeatedly —
+    one mapping per segment per process.
+    """
+    hit = _ATTACHED.get(ref.name)
+    if hit is not None:
+        return hit[1], hit[2]
+    shm = _attach_untracked(ref.name)
+    arrs: Dict[str, np.ndarray] = {}
+    for key, dt, size, off in ref.fields:
+        a = np.frombuffer(shm.buf, dtype=dt, count=size, offset=off)
+        a.flags.writeable = False
+        arrs[key] = a
+    home = arrs.pop("home", None)
+    graph = TaskGraph.from_columns(arrs, n_data=ref.n_data,
+                                   nnodes=ref.nnodes,
+                                   total_flops=ref.total_flops)
+    _ATTACHED[ref.name] = (shm, graph, home)
+    return graph, home
+
+
+def unpublish(ref: SharedGraphRef) -> None:
+    """Destroy a published segment (publisher side, idempotent)."""
+    shm = _PUBLISHED.pop(ref.name, None)
+    if shm is None:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+
+
+def unpublish_all() -> None:
+    """Destroy every segment this process published."""
+    for name in list(_PUBLISHED):
+        shm = _PUBLISHED.pop(name)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass

@@ -1,4 +1,4 @@
-"""Event-driven simulator of a task-based distributed runtime (v2).
+"""Event-driven simulator of a task-based distributed runtime (v3).
 
 Models the Chameleon/StarPU execution of Section II-C:
 
@@ -20,31 +20,47 @@ Models the Chameleon/StarPU execution of Section II-C:
   like the runtime-based execution the paper credits for beating
   fork-join MPI codes.
 
-The simulator consumes the columnar task-graph arrays directly: the
-dependency-countdown tables (per-task pending counts, a CSR table of
-local dependents, the message plan) are derived in a handful of
-vectorized passes over the flat read columns instead of a Python loop
-over task objects, and the event loop itself runs on plain-list copies
-of the columns (tids, nodes, iteration indexes, precomputed durations
-and priority keys) — no ``Task`` dataclass is materialized anywhere on
-the hot path.  The event schedule, and therefore every trace, is
-bit-for-bit identical to the object-based implementation: the
-vectorized passes reproduce the exact task-submission scan order the
-old per-task loop produced, and the golden-trace tests pin this.
+The v3 hot path is split in three layers:
+
+1. **Plan** — :mod:`~repro.runtime.simplan` derives the dependency
+   countdowns, the CSR local-dependents table and the uid-encoded
+   message plan as pure NumPy arrays (no Python dict/list assembly),
+   cached per graph so repeated simulations of one graph — a campaign
+   cell's baseline + degraded runs, or a network-model sweep — pay for
+   planning once.
+2. **Backend** — for the default configuration (priority scheduler, no
+   fork-join, no recording, NIC network, p2p multicast) the event loop
+   runs compiled: a numba JIT kernel (:mod:`~repro.runtime.jit`) when
+   numba is installed, else a ctypes-bound C loop
+   (:mod:`~repro.runtime.csim`) compiled on demand.  Both replicate the
+   Python loop event for event; ``REPRO_SIM_BACKEND`` forces a choice.
+3. **Python loop** — the always-available fallback (and the only path
+   for recording, fork-join, ablation schedulers and the contention
+   model).  It drains the event heap in same-timestamp batches and
+   admits newly-ready tasks through bulk ``heapify`` instead of
+   per-task pushes whenever a queue refills from empty.
+
+The event schedule, and therefore every trace, is bit-for-bit
+identical across all three layers and to the previous per-event
+implementation: ties break on the shared seq-tagged event keys, ready
+heaps pop unique packed priority keys, and the golden-trace tests pin
+the result for every backend.
 
 The simulator is deterministic for a given graph, cluster and network
-model.  With ``record_tasks=True`` the returned trace also carries
-per-message records and a :class:`~repro.runtime.network.NetworkStats`
-breakdown (per-node bytes sent/received, NIC/link busy time).
+model.  With ``record_tasks=True`` the returned trace carries per-task
+and per-message records; pass ``trace_writer=`` (see
+:class:`~repro.runtime.trace.TraceWriter`) to stream those records to
+disk in bounded memory instead of accumulating Python lists.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .backends import select_backend
 from .cluster import ClusterSpec
 from .graph import TaskGraph
 from .network import (
@@ -52,9 +68,12 @@ from .network import (
     EVENT_NET_INTERNAL,
     EVENT_TASK_DONE,
     NetworkModel,
+    NetworkStats,
+    NicModel,
     make_network,
 )
-from .trace import ExecutionTrace, TaskRecord
+from .simplan import get_plan
+from .trace import ExecutionTrace, TaskRecord, TraceWriter
 
 __all__ = ["simulate", "SimulationError"]
 
@@ -76,6 +95,7 @@ def simulate(
     network: Union[str, NetworkModel, None] = None,
     faults=None,
     recovery=None,
+    trace_writer: Optional[TraceWriter] = None,
 ) -> ExecutionTrace:
     """Simulate the distributed execution of ``graph`` on ``cluster``.
 
@@ -92,8 +112,9 @@ def simulate(
         datum from a different node (never the case under
         owner-computes with our builders, but supported).
     record_tasks:
-        Keep per-task start/end times and per-message records
-        (memory-heavy for large graphs).
+        Keep per-task start/end times and per-message records in
+        memory on the returned trace (memory-heavy for large graphs —
+        prefer ``trace_writer`` beyond ~1M tasks).
     network:
         Communication model: ``None``/``"nic"`` (legacy, sender-side
         serialization only), ``"contention"``, or a bound-able
@@ -109,6 +130,15 @@ def simulate(
         candidates`` for fault runs (see
         :func:`~repro.runtime.faults.colrow_recovery`); ignored when
         ``faults`` is empty.
+    trace_writer:
+        A :class:`~repro.runtime.trace.TraceWriter` that receives every
+        :class:`~repro.runtime.trace.TaskRecord` and
+        :class:`~repro.runtime.trace.MsgRecord` as it is produced,
+        instead of growing in-memory lists — recording stays O(buffer)
+        regardless of graph size.  The returned trace then has
+        ``task_records is None`` and ``msg_records is None``; the
+        caller owns the writer's lifecycle (``close()``).  The event
+        schedule is identical with or without a writer.
     """
     if faults is not None:
         if isinstance(faults, str):
@@ -119,7 +149,7 @@ def simulate(
             return simulate_with_faults(
                 graph, cluster, faults, data_home=data_home,
                 record_tasks=record_tasks, network=network,
-                recovery=recovery)
+                recovery=recovery, trace_writer=trace_writer)
     model = make_network(network)
     n_tasks = len(graph)
     if n_tasks == 0:
@@ -132,138 +162,114 @@ def simulate(
             network=model.name, recv_messages=zeros_i.copy(),
         )
     cols = graph.columns
-    node_a = cols.node
-    max_node = int(node_a.max())
+    max_node = int(cols.node.max())
     if max_node >= cluster.nnodes:
         raise SimulationError(
             f"graph uses node {max_node} but cluster has {cluster.nnodes} nodes"
         )
 
-    # ------------------------------------------------------------------
-    # Preprocessing: prerequisites and message plan, from the columns
-    # ------------------------------------------------------------------
-    # Classify every flat read entry.  The scan order of the flat read
-    # columns (task id major, tuple order minor) is exactly the order
-    # the old per-task loop visited reads in, so first-occurrence and
-    # within-group orders below match it entry for entry.
-    rt = graph.read_task          # consumer tid per read
-    rp = graph.read_producer      # producer tid per read, -1 if none
-    rd = cols.read_data
-    rv = cols.read_version
-    rnode = node_a[rt]            # consumer node per read
+    # all dependency/message tables come vectorized from the cached plan
+    plan = get_plan(graph, data_home)
 
-    has_prod = rp >= 0
-    pnode = node_a[np.where(has_prod, rp, 0)]
-    is_local = has_prod & (pnode == rnode)
-    is_remote = has_prod & ~is_local
-    if data_home is None:
-        # version-0 data assumed resident where read (owner-computes)
-        is_init = np.zeros(rd.shape, dtype=bool)
-        home_a = None
-    else:
-        home_a = np.asarray(data_home, dtype=np.int64)
-        is_init = ~has_prod & (home_a[rd] != rnode)
-
-    # one prerequisite per satisfied-later read
-    pending = np.bincount(rt[is_local | is_remote | is_init],
-                          minlength=n_tasks)
-
-    # local dependents as CSR: consumers of each producer's output that
-    # run on the producer's node, in read-scan order within a producer
-    lp = rp[is_local]
-    lorder = np.argsort(lp, kind="stable")
-    ld_counts = np.bincount(lp, minlength=n_tasks) if lp.size else \
-        np.zeros(n_tasks, dtype=np.int64)
-    ld_indptr = np.zeros(n_tasks + 1, dtype=np.int64)
-    np.cumsum(ld_counts, out=ld_indptr[1:])
-    ld_tasks = rt[is_local][lorder].tolist()
-    ld_indptr = ld_indptr.tolist()
-
-    # message plan: one message per unique (ref, dst); integer-encode
-    # (data, version, dst) for the grouping passes.  The ``ref`` handed
-    # to the network model is normally the opaque integer ``data·M +
-    # version`` — models pass it through untouched and the waiter table
-    # is keyed by ``ref·Pn + dst``, one int hash instead of a nested
-    # tuple hash per delivery.  When per-message records are requested
-    # the legacy ``(data, version)`` tuples are used instead, since
-    # they end up in ``MsgRecord``s; the event schedule is identical
-    # either way.
-    M = int(rv.max()) + 1 if rv.size else 1
-    Pn = cluster.nnodes
-    use_codes = not record_tasks
-
-    msg_waiters: Dict = {}
-
-    def group_messages(mask: np.ndarray):
-        """Unique messages of the masked reads: decoded python-int
-        columns in code order, first-occurrence positions, and waiter
-        lists (appended to ``msg_waiters``) in read-scan order."""
-        codes = (rd[mask] * M + rv[mask]) * Pn + rnode[mask]
-        uniq, first, inv = np.unique(codes, return_index=True,
-                                     return_inverse=True)
-        dst_l = (uniq % Pn).tolist()
-        refc = uniq // Pn
-        if use_codes:
-            ref_l = refc.tolist()
-            key_l = uniq.tolist()
-        else:
-            ref_l = list(zip((refc // M).tolist(), (refc % M).tolist()))
-            key_l = list(zip(ref_l, dst_l))
-        waiters = rt[mask][np.argsort(inv, kind="stable")].tolist()
-        counts = np.bincount(inv, minlength=len(uniq)).tolist()
-        off = 0
-        for u, c in enumerate(counts):
-            msg_waiters[key_l[u]] = waiters[off:off + c]
-            off += c
-        return ref_l, dst_l, first, refc // M
-
-    # messages to push when a producer completes: producer tid -> [(ref, dst)]
-    push_plan: Dict[int, List[tuple]] = {}
-    if np.any(is_remote):
-        ref_l, dst_l, first, _ = group_messages(is_remote)
-        prod_l = rp[is_remote][first].tolist()
-        # first-occurrence scan order, exactly the old planned_msgs order
-        for u in np.argsort(first).tolist():
-            push_plan.setdefault(prod_l[u], []).append((ref_l[u], dst_l[u]))
-
-    # messages needed at t=0 (remote version-0 reads): [(ref, src, dst)]
-    initial_msgs: List[tuple] = []
-    if np.any(is_init):
-        ref_l, dst_l, first, d_arr = group_messages(is_init)
-        homes = home_a[d_arr].tolist()
-        for u in np.argsort(first).tolist():
-            initial_msgs.append((ref_l[u], homes[u], dst_l[u]))
-
-    # dense per-task view of the push plan (faster than dict.get on the
-    # hot path)
-    push_plan_l: List[Optional[list]] = [None] * n_tasks
-    for ptid, dests in push_plan.items():
-        push_plan_l[ptid] = dests
-
-    # ------------------------------------------------------------------
-    # Hot-path state: plain-list copies of the columns
-    # ------------------------------------------------------------------
-    node_l = node_a.tolist()
-    k_l = cols.k.tolist()
-    pending_l = pending.tolist()
     # per-task durations, elementwise-identical to cluster.task_time
     dur_a = cols.flops / cluster.core_flops
     if cluster.node_speeds:
-        dur_a = dur_a / np.asarray(cluster.node_speeds, dtype=np.float64)[node_a]
+        dur_a = dur_a / np.asarray(cluster.node_speeds,
+                                   dtype=np.float64)[cols.node]
+
+    # ------------------------------------------------------------------
+    # Compiled backends (numba JIT / C): default configuration only
+    # ------------------------------------------------------------------
+    if (not record_tasks and trace_writer is None
+            and cluster.scheduler == "priority" and not cluster.fork_join
+            and cluster.multicast == "p2p" and type(model) is NicModel):
+        _, runner = select_backend()
+        if runner is not None:
+            res = runner(plan, dur_a, cluster.nnodes,
+                         cluster.cores_per_node, cluster.message_time(),
+                         cluster.rx_serialization)
+            if res is not None:
+                if res.completed != n_tasks:
+                    _raise_deadlock(graph, n_tasks, res.completed,
+                                    res.pending.tolist(), {})
+                nbytes = float(cluster.tile_bytes)
+                net_stats = NetworkStats(
+                    model="nic",
+                    msgs_sent=res.msgs_sent, msgs_recv=res.msgs_recv,
+                    bytes_sent=res.msgs_sent * nbytes,
+                    bytes_recv=res.msgs_recv * nbytes,
+                    tx_busy=res.tx_busy, rx_busy=res.rx_busy)
+                return ExecutionTrace(
+                    cluster=cluster,
+                    makespan=res.makespan,
+                    total_flops=graph.total_flops,
+                    n_tasks=n_tasks,
+                    n_messages=res.n_messages,
+                    bytes_sent=float(res.n_messages) * cluster.tile_bytes,
+                    busy_time=res.busy,
+                    sent_messages=res.msgs_sent,
+                    network=model.name,
+                    recv_messages=res.msgs_recv,
+                    net_stats=net_stats,
+                )
+
+    # ------------------------------------------------------------------
+    # Python event loop: hot-path state as plain-list plan copies
+    # ------------------------------------------------------------------
+    # Message refs: the compiled-eligible path uses the bare uid as the
+    # opaque ref (waiter lookup is then a CSR slice, no hashing); when
+    # records are produced the legacy (data, version) tuples are used
+    # instead, since they end up in MsgRecords.  Schedules are identical
+    # either way — refs never participate in event ordering.
+    recording = record_tasks or trace_writer is not None
+    use_codes = not recording
+    Pn = cluster.nnodes
+
+    node_l = plan.node.tolist()
+    k_l = cols.k.tolist()
+    pending_l = plan.pending.tolist()
     dur_l = dur_a.tolist()
-    # priority keys mimic StarPU's critical-path-friendly ordering
-    # (earlier iteration, then panel kernels first), packed as single
-    # ints ``k << 40 | kind << 32 | tid`` whose numeric order equals the
-    # lexicographic order of the ``(k, kind, tid)`` tuple — int
-    # comparisons keep the ready-heap sifts cheap
-    keys_l = ((cols.k << 40) | (cols.kind.astype(np.int64) << 32)
-              | np.arange(n_tasks, dtype=np.int64)).tolist()
+    keys_l = plan.keys.tolist()
+    ld_indptr = plan.ld_indptr.tolist()
+    ld_tasks = plan.ld_tasks.tolist()
+    w_indptr = plan.w_indptr.tolist()
+    w_tasks = plan.w_tasks.tolist()
+    mdst_l = plan.msg_dst.tolist()
+
+    if use_codes:
+        ref_l: List = list(range(plan.n_msgs))
+        msg_waiters: Dict = {}
+    else:
+        ref_l = list(zip(plan.msg_data.tolist(), plan.msg_version.tolist()))
+        msg_waiters = {
+            (ref_l[uid], mdst_l[uid]): w_tasks[w_indptr[uid]:w_indptr[uid + 1]]
+            for uid in range(plan.n_msgs)
+        }
+
+    # dense per-task push plan: tid -> [(ref, dst)] or None
+    push_plan_l: List[Optional[list]] = [None] * n_tasks
+    pp = plan.push_indptr
+    for tid in np.flatnonzero(np.diff(pp)).tolist():
+        push_plan_l[tid] = [(ref_l[uid], mdst_l[uid])
+                            for uid in plan.push_uids[pp[tid]:pp[tid + 1]].tolist()]
+
+    initial_msgs = [(ref_l[uid], int(plan.msg_src[uid]), mdst_l[uid])
+                    for uid in plan.init_uids.tolist()]
 
     idle = [cluster.cores_per_node] * cluster.nnodes
-    ready: List[List[tuple]] = [[] for _ in range(cluster.nnodes)]
+    ready: List[List[int]] = [[] for _ in range(cluster.nnodes)]
     busy = [0.0] * cluster.nnodes
     completion = np.zeros(n_tasks) if record_tasks else None
-    records: Optional[List[TaskRecord]] = [] if record_tasks else None
+    records: Optional[List[TaskRecord]] = \
+        [] if record_tasks and trace_writer is None else None
+    # one call per started task: list append (legacy in-memory records)
+    # or the streaming writer's bounded-buffer ingest
+    if trace_writer is not None:
+        rec_task = trace_writer.write_task
+    elif records is not None:
+        rec_task = records.append
+    else:
+        rec_task = None
 
     # events are ``(time, tag, payload)`` with ``tag = seq + etype``,
     # where ``seq`` advances in steps of 4 so that the low two bits hold
@@ -273,13 +279,14 @@ def simulate(
     seq = 0
     heappush = heapq.heappush
     heappop = heapq.heappop
+    heapify = heapq.heapify
 
     def push_event(time: float, etype: int, payload) -> None:
         nonlocal seq
         seq += 4
         heappush(events, (time, seq + etype, payload))
 
-    model.bind(cluster, push_event, record=record_tasks)
+    model.bind(cluster, push_event, record=record_tasks, writer=trace_writer)
 
     policy = cluster.scheduler
     prio = policy == "priority"
@@ -336,13 +343,13 @@ def simulate(
             busy[n] += dur
             seq += 4
             heappush(events, (t + dur, seq, tid))
-            if records is not None:
-                records.append(TaskRecord(tid=tid, node=n, start=t, end=t + dur))
+            if rec_task is not None:
+                rec_task(TaskRecord(tid=tid, node=n, start=t, end=t + dur))
         idle[n] = idl
 
     fast = not fj and prio
     # fully specialized hot path: priority scheduler, no fork-join gate,
-    # no task recording (``use_codes`` implies records/completion are None)
+    # no task recording (``use_codes`` implies rec_task is None)
     ffast = fast and use_codes
 
     def deliver(ref, dst: int, t: float, msg_waiters=msg_waiters,
@@ -352,9 +359,12 @@ def simulate(
 
         Every waiter of ``(ref, dst)`` reads on node ``dst``, so at
         most that one node gains ready tasks."""
-        key = ref * Pn + dst if use_codes else (ref, dst)
+        if use_codes:
+            waiters = w_tasks[w_indptr[ref]:w_indptr[ref + 1]]
+        else:
+            waiters = msg_waiters.get((ref, dst), ())
         any_ready = False
-        for dep in msg_waiters.get(key, ()):
+        for dep in waiters:
             p = pending_l[dep] - 1
             pending_l[dep] = p
             if p == 0:
@@ -369,17 +379,19 @@ def simulate(
         if any_ready:
             dispatch(dst, t)
 
-    # seed: initial messages and dependency-free tasks
+    # seed: initial messages and dependency-free tasks, then one
+    # dispatch per touched node in ascending node order (deterministic,
+    # matching the compiled backends)
     for ref, src, dst in initial_msgs:
         model.send(ref, src, dst, 0.0)
-    touched = set()
-    for tid in np.flatnonzero(pending == 0).tolist():
+    for tid in np.flatnonzero(plan.pending == 0).tolist():
         if fj and k_l[tid] > gate_val:
             deferred.setdefault(k_l[tid], []).append(tid)
         else:
-            touched.add(enqueue(tid))
-    for n in touched:
-        dispatch(n, 0.0)
+            enqueue(tid)
+    for n in range(cluster.nnodes):
+        if ready[n]:
+            dispatch(n, 0.0)
 
     # ------------------------------------------------------------------
     # Event loop
@@ -387,159 +399,185 @@ def simulate(
     # the TASK_DONE branch is the hot path: for the default
     # configuration (no fork-join barrier, priority scheduler) enqueue
     # and dispatch are fully inlined — at m=64 the function-call
-    # overhead alone is ~30% of the loop
+    # overhead alone is ~30% of the loop.  The heap is drained in
+    # same-timestamp batches: each iteration of the outer loop pins
+    # ``now`` and the inner loop keeps popping while the heap head
+    # stays at ``now`` — events pushed *during* the batch land behind
+    # the drained ones (their seq tags are larger), so processing
+    # order is identical to one-at-a-time popping.
     now = 0.0
     completed = 0
     while events:
         now, tag, payload = heappop(events)
-        etype = tag & 3
-        if etype == _TASK_DONE:
-            tid = payload
-            completed += 1
-            tnode = node_l[tid]
-            # wake local dependents, then refill the freed worker.
-            # Local dependents always run on the producer's node (that
-            # is what makes them local), so completion wakes exactly one
-            # node — no set bookkeeping needed on the fast path.
-            if ffast:
-                dests = push_plan_l[tid]
-                if dests is not None:
-                    model.multicast(tnode, dests, now)
-                rq = ready[tnode]
-                s = ld_indptr[tid]
-                e = ld_indptr[tid + 1]
-                idl = idle[tnode] + 1
-                if s != e and not rq:
-                    # heap bypass: the queue is empty, so pushing the
-                    # newly-ready set and draining would hand it back in
-                    # sorted key order — start directly instead
-                    new = None
-                    for dep in ld_tasks[s:e]:
-                        p = pending_l[dep] - 1
-                        pending_l[dep] = p
-                        if p == 0:
-                            if new is None:
-                                new = [keys_l[dep]]
-                            else:
-                                new.append(keys_l[dep])
-                    if new is not None:
-                        if len(new) <= idl:
-                            if len(new) > 1:
-                                new.sort()
-                            for key in new:
-                                tid2 = key & 0xFFFFFFFF
-                                idl -= 1
-                                dur = dur_l[tid2]
-                                busy[tnode] += dur
-                                seq += 4
-                                heappush(events, (now + dur, seq, tid2))
-                        else:
-                            for key in new:
-                                heappush(rq, key)
-                            while idl > 0 and rq:
-                                tid2 = heappop(rq) & 0xFFFFFFFF
-                                idl -= 1
-                                dur = dur_l[tid2]
-                                busy[tnode] += dur
-                                seq += 4
-                                heappush(events, (now + dur, seq, tid2))
-                else:
-                    if s != e:
+        while True:
+            etype = tag & 3
+            if etype == _TASK_DONE:
+                tid = payload
+                completed += 1
+                tnode = node_l[tid]
+                # wake local dependents, then refill the freed worker.
+                # Local dependents always run on the producer's node
+                # (that is what makes them local), so completion wakes
+                # exactly one node — no set bookkeeping on the fast path.
+                if ffast:
+                    dests = push_plan_l[tid]
+                    if dests is not None:
+                        model.multicast(tnode, dests, now)
+                    rq = ready[tnode]
+                    s = ld_indptr[tid]
+                    e = ld_indptr[tid + 1]
+                    idl = idle[tnode] + 1
+                    if s != e and not rq:
+                        # heap bypass: the queue is empty, so pushing
+                        # the newly-ready set and draining would hand it
+                        # back in sorted key order — start the head
+                        # directly, bulk-heapify any overflow
+                        new = None
                         for dep in ld_tasks[s:e]:
                             p = pending_l[dep] - 1
                             pending_l[dep] = p
                             if p == 0:
-                                heappush(rq, keys_l[dep])
-                    while idl > 0 and rq:
-                        tid2 = heappop(rq) & 0xFFFFFFFF
-                        idl -= 1
-                        dur = dur_l[tid2]
-                        busy[tnode] += dur
-                        seq += 4
-                        heappush(events, (now + dur, seq, tid2))
-                idle[tnode] = idl
-                continue
-            if completion is not None:
-                completion[tid] = now
-            # push produced version to remote consumers
-            dests = push_plan_l[tid]
-            if dests is not None:
-                model.multicast(tnode, dests, now)
-            if fast:
-                rq = ready[tnode]
-                s = ld_indptr[tid]
-                e = ld_indptr[tid + 1]
-                if s != e:
-                    for dep in ld_tasks[s:e]:
-                        p = pending_l[dep] - 1
-                        pending_l[dep] = p
-                        if p == 0:
-                            heappush(rq, keys_l[dep])
-                idl = idle[tnode] + 1
-                while idl > 0 and rq:
-                    tid2 = heappop(rq) & 0xFFFFFFFF
-                    idl -= 1
-                    dur = dur_l[tid2]
-                    busy[tnode] += dur
-                    seq += 4
-                    heappush(events, (now + dur, seq, tid2))
-                    if records is not None:
-                        records.append(
-                            TaskRecord(tid=tid2, node=tnode, start=now,
-                                       end=now + dur))
-                idle[tnode] = idl
-                continue
-            woken = {tnode}
-            for dep in ld_tasks[ld_indptr[tid]:ld_indptr[tid + 1]]:
-                p = pending_l[dep] - 1
-                pending_l[dep] = p
-                if p == 0:
-                    if fj and k_l[dep] > gate_val:
-                        deferred.setdefault(k_l[dep], []).append(dep)
-                    else:
-                        woken.add(enqueue(dep))
-            if fj:
-                remaining[k_l[tid]] -= 1
-                while gate_idx < len(iterations) and remaining[iterations[gate_idx]] == 0:
-                    gate_idx += 1
-                    if gate_idx < len(iterations):
-                        for tid2 in deferred.pop(iterations[gate_idx], ()):  # noqa: B007
-                            woken.add(enqueue(tid2))
-                gate_val = iterations[gate_idx] if gate_idx < len(iterations) else (1 << 62)
-            idle[tnode] += 1
-            for n in woken:
-                dispatch(n, now)
-        elif etype == _MSG_ARRIVE:
-            ref, dst = payload
-            if ffast:
-                # inlined deliver + dispatch for the default path
-                rq = ready[dst]
-                idl = idle[dst]
-                if not rq and idl > 0:
-                    # heap bypass (see TASK_DONE branch)
-                    new = None
-                    for dep in msg_waiters.get(ref * Pn + dst, ()):
-                        p = pending_l[dep] - 1
-                        pending_l[dep] = p
-                        if p == 0:
-                            if new is None:
-                                new = [keys_l[dep]]
+                                if new is None:
+                                    new = [keys_l[dep]]
+                                else:
+                                    new.append(keys_l[dep])
+                        if new is not None:
+                            if len(new) <= idl:
+                                if len(new) > 1:
+                                    new.sort()
+                                for key in new:
+                                    tid2 = key & 0xFFFFFFFF
+                                    idl -= 1
+                                    dur = dur_l[tid2]
+                                    busy[tnode] += dur
+                                    seq += 4
+                                    heappush(events, (now + dur, seq, tid2))
                             else:
-                                new.append(keys_l[dep])
-                    if new is not None:
-                        if len(new) <= idl:
-                            if len(new) > 1:
-                                new.sort()
-                            for key in new:
-                                tid2 = key & 0xFFFFFFFF
-                                idl -= 1
-                                dur = dur_l[tid2]
-                                busy[dst] += dur
-                                seq += 4
-                                heappush(events, (now + dur, seq, tid2))
-                        else:
-                            for key in new:
-                                heappush(rq, key)
+                                heapify(new)
+                                ready[tnode] = rq = new
+                                while idl > 0 and rq:
+                                    tid2 = heappop(rq) & 0xFFFFFFFF
+                                    idl -= 1
+                                    dur = dur_l[tid2]
+                                    busy[tnode] += dur
+                                    seq += 4
+                                    heappush(events, (now + dur, seq, tid2))
+                    else:
+                        if s != e:
+                            for dep in ld_tasks[s:e]:
+                                p = pending_l[dep] - 1
+                                pending_l[dep] = p
+                                if p == 0:
+                                    heappush(rq, keys_l[dep])
+                        while idl > 0 and rq:
+                            tid2 = heappop(rq) & 0xFFFFFFFF
+                            idl -= 1
+                            dur = dur_l[tid2]
+                            busy[tnode] += dur
+                            seq += 4
+                            heappush(events, (now + dur, seq, tid2))
+                    idle[tnode] = idl
+                else:
+                    if completion is not None:
+                        completion[tid] = now
+                    # push produced version to remote consumers
+                    dests = push_plan_l[tid]
+                    if dests is not None:
+                        model.multicast(tnode, dests, now)
+                    if fast:
+                        rq = ready[tnode]
+                        s = ld_indptr[tid]
+                        e = ld_indptr[tid + 1]
+                        if s != e:
+                            for dep in ld_tasks[s:e]:
+                                p = pending_l[dep] - 1
+                                pending_l[dep] = p
+                                if p == 0:
+                                    heappush(rq, keys_l[dep])
+                        idl = idle[tnode] + 1
+                        while idl > 0 and rq:
+                            tid2 = heappop(rq) & 0xFFFFFFFF
+                            idl -= 1
+                            dur = dur_l[tid2]
+                            busy[tnode] += dur
+                            seq += 4
+                            heappush(events, (now + dur, seq, tid2))
+                            if rec_task is not None:
+                                rec_task(TaskRecord(tid=tid2, node=tnode,
+                                                    start=now, end=now + dur))
+                        idle[tnode] = idl
+                    else:
+                        woken = {tnode}
+                        for dep in ld_tasks[ld_indptr[tid]:ld_indptr[tid + 1]]:
+                            p = pending_l[dep] - 1
+                            pending_l[dep] = p
+                            if p == 0:
+                                if fj and k_l[dep] > gate_val:
+                                    deferred.setdefault(k_l[dep], []).append(dep)
+                                else:
+                                    woken.add(enqueue(dep))
+                        if fj:
+                            remaining[k_l[tid]] -= 1
+                            while (gate_idx < len(iterations)
+                                   and remaining[iterations[gate_idx]] == 0):
+                                gate_idx += 1
+                                if gate_idx < len(iterations):
+                                    for tid2 in deferred.pop(iterations[gate_idx], ()):  # noqa: B007
+                                        woken.add(enqueue(tid2))
+                            gate_val = (iterations[gate_idx]
+                                        if gate_idx < len(iterations) else (1 << 62))
+                        idle[tnode] += 1
+                        for n in sorted(woken):
+                            dispatch(n, now)
+            elif etype == _MSG_ARRIVE:
+                ref, dst = payload
+                if ffast:
+                    # inlined deliver + dispatch for the default path:
+                    # waiters come straight off the uid-indexed CSR slice
+                    rq = ready[dst]
+                    idl = idle[dst]
+                    if not rq and idl > 0:
+                        # heap bypass (see TASK_DONE branch)
+                        new = None
+                        for dep in w_tasks[w_indptr[ref]:w_indptr[ref + 1]]:
+                            p = pending_l[dep] - 1
+                            pending_l[dep] = p
+                            if p == 0:
+                                if new is None:
+                                    new = [keys_l[dep]]
+                                else:
+                                    new.append(keys_l[dep])
+                        if new is not None:
+                            if len(new) <= idl:
+                                if len(new) > 1:
+                                    new.sort()
+                                for key in new:
+                                    tid2 = key & 0xFFFFFFFF
+                                    idl -= 1
+                                    dur = dur_l[tid2]
+                                    busy[dst] += dur
+                                    seq += 4
+                                    heappush(events, (now + dur, seq, tid2))
+                            else:
+                                heapify(new)
+                                ready[dst] = rq = new
+                                while idl > 0 and rq:
+                                    tid2 = heappop(rq) & 0xFFFFFFFF
+                                    idl -= 1
+                                    dur = dur_l[tid2]
+                                    busy[dst] += dur
+                                    seq += 4
+                                    heappush(events, (now + dur, seq, tid2))
+                            idle[dst] = idl
+                    else:
+                        any_ready = False
+                        for dep in w_tasks[w_indptr[ref]:w_indptr[ref + 1]]:
+                            p = pending_l[dep] - 1
+                            pending_l[dep] = p
+                            if p == 0:
+                                heappush(rq, keys_l[dep])
+                                any_ready = True
+                        if any_ready and idl > 0:
                             while idl > 0 and rq:
                                 tid2 = heappop(rq) & 0xFFFFFFFF
                                 idl -= 1
@@ -547,42 +585,20 @@ def simulate(
                                 busy[dst] += dur
                                 seq += 4
                                 heappush(events, (now + dur, seq, tid2))
-                        idle[dst] = idl
+                            idle[dst] = idl
                 else:
-                    any_ready = False
-                    for dep in msg_waiters.get(ref * Pn + dst, ()):
-                        p = pending_l[dep] - 1
-                        pending_l[dep] = p
-                        if p == 0:
-                            heappush(rq, keys_l[dep])
-                            any_ready = True
-                    if any_ready and idl > 0:
-                        while idl > 0 and rq:
-                            tid2 = heappop(rq) & 0xFFFFFFFF
-                            idl -= 1
-                            dur = dur_l[tid2]
-                            busy[dst] += dur
-                            seq += 4
-                            heappush(events, (now + dur, seq, tid2))
-                        idle[dst] = idl
+                    deliver(ref, dst, now)
+            else:  # network-internal event (contention-model bookkeeping)
+                for ref, dst in model.on_internal(payload, now):
+                    deliver(ref, dst, now)
+            # batch drain: keep popping while the head stays at ``now``
+            if events and events[0][0] == now:
+                _, tag, payload = heappop(events)
             else:
-                deliver(ref, dst, now)
-        else:  # network-internal event (contention-model flow bookkeeping)
-            for ref, dst in model.on_internal(payload, now):
-                deliver(ref, dst, now)
+                break
 
     if completed != n_tasks:
-        stuck = n_tasks - completed
-        # a stuck task still has unmet prerequisites (or, in fork-join
-        # mode, sits behind the iteration gate in ``deferred``)
-        first_stuck = next(
-            (t for t in range(n_tasks) if pending_l[t] > 0),
-            min((min(v) for v in deferred.values()), default=0),
-        )
-        raise SimulationError(
-            f"deadlock: {stuck} of {n_tasks} tasks never ran "
-            f"(first stuck: {graph.task(first_stuck)})"
-        )
+        _raise_deadlock(graph, n_tasks, completed, pending_l, deferred)
 
     net_stats = model.stats()
     return ExecutionTrace(
@@ -600,4 +616,19 @@ def simulate(
         recv_messages=net_stats.msgs_recv,
         net_stats=net_stats,
         msg_records=model.msg_records,
+    )
+
+
+def _raise_deadlock(graph: TaskGraph, n_tasks: int, completed: int,
+                    pending_l: List[int], deferred: Dict[int, List[int]]):
+    stuck = n_tasks - completed
+    # a stuck task still has unmet prerequisites (or, in fork-join
+    # mode, sits behind the iteration gate in ``deferred``)
+    first_stuck = next(
+        (t for t in range(n_tasks) if pending_l[t] > 0),
+        min((min(v) for v in deferred.values()), default=0),
+    )
+    raise SimulationError(
+        f"deadlock: {stuck} of {n_tasks} tasks never ran "
+        f"(first stuck: {graph.task(first_stuck)})"
     )

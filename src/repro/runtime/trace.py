@@ -14,7 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .faults import FaultStats
     from .network import NetworkStats
 
-__all__ = ["TaskRecord", "MsgRecord", "ExecutionTrace"]
+__all__ = ["TaskRecord", "MsgRecord", "TraceWriter", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,45 @@ class MsgRecord:
     start: float
     end: float
     nbytes: float
+
+
+class TraceWriter:
+    """Streaming sink for task/message records produced mid-simulation.
+
+    Pass an instance as ``simulate(..., trace_writer=...)`` and the
+    simulator (and the bound network model) will hand every
+    :class:`TaskRecord` and :class:`MsgRecord` to :meth:`write_task` /
+    :meth:`write_msg` the moment it is produced, instead of
+    accumulating Python lists on the trace — recording memory stays
+    bounded by the writer's buffer no matter how many tasks run.
+
+    Subclasses implement the three ``write_*`` hooks plus
+    :meth:`flush`/:meth:`close`; see
+    :class:`~repro.runtime.tracefmt.ChromeTraceWriter` for the
+    Chrome-tracing JSON implementation.  Writers are context managers:
+    ``with ChromeTraceWriter(path) as w: simulate(..., trace_writer=w)``.
+    """
+
+    def write_task(self, rec: "TaskRecord") -> None:
+        raise NotImplementedError
+
+    def write_msg(self, rec: "MsgRecord") -> None:
+        raise NotImplementedError
+
+    def write_fault(self, event) -> None:
+        """Fault incident of a degraded run (default: ignored)."""
+
+    def flush(self) -> None:
+        """Force buffered records to the underlying sink."""
+
+    def close(self) -> None:
+        """Finalize the sink; no further writes are allowed."""
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass

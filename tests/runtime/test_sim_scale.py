@@ -1,0 +1,75 @@
+"""Large-m smoke tests for the batch-drained simulator.
+
+``slow`` (runs in tier-1): an m = 128 LU end-to-end pass — ~700k tasks
+through the columnar builder and the auto-selected backend.
+
+``veryslow`` (deselected by default via ``addopts``; run with
+``pytest -m veryslow``): the m = 256 million-task bounded-memory leg —
+2.8M Cholesky tasks streamed through :class:`ChromeTraceWriter`,
+asserting the writer flushed incrementally instead of accumulating a
+record list.  The full-size ladder with timings lives in
+``benchmarks/bench_sim_scale.py``.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import build_cholesky_graph, cholesky_task_count
+from repro.dla.lu import build_lu_graph, lu_task_count
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import feasible_sizes, gcrm
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.simulator import simulate
+from repro.runtime.tracefmt import ChromeTraceWriter
+
+P = 12
+TILE = 8
+
+
+def _cluster():
+    return ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                       bandwidth_Bps=1e9, latency_s=1e-6, tile_size=TILE)
+
+
+@pytest.mark.slow
+def test_lu_m128_smoke():
+    m = 128
+    dist = TileDistribution(g2dbc(P), m, symmetric=False)
+    graph, home = build_lu_graph(dist, TILE)
+    assert len(graph) == lu_task_count(m)
+    trace = simulate(graph, _cluster(), data_home=home, network="nic")
+    assert trace.makespan > 0
+    assert trace.n_messages > 0
+    assert 0 < trace.utilization <= 1.0
+    # all flops accounted for: serial work / P bounds the makespan
+    serial_s = graph.total_flops / 1e9 / 2  # 2 cores x 1 GFlop/s
+    assert trace.makespan >= serial_s / P
+
+
+@pytest.mark.veryslow
+def test_cholesky_m256_bounded_memory_stream():
+    m = 256
+    pat = gcrm(P, feasible_sizes(P)[0], seed=0).pattern
+    dist = TileDistribution(pat, m, symmetric=True)
+    graph, home = build_cholesky_graph(dist, TILE)
+    assert len(graph) == cholesky_task_count(m) > 1_000_000
+    buffer_events = 65536
+    path = os.path.join(tempfile.mkdtemp(prefix="simscale-"), "m256.json")
+    try:
+        with ChromeTraceWriter(path, graph=None,
+                               buffer_events=buffer_events) as w:
+            trace = simulate(graph, _cluster(), data_home=home,
+                             network="nic", trace_writer=w)
+        # the stream must have drained incrementally: many flushes, and
+        # the in-memory buffer never grew past one flush window
+        assert w.events_written > len(graph)
+        assert w.flushes >= w.events_written // buffer_events
+        assert w.flushes > 1
+        assert trace.task_records is None  # nothing retained in memory
+        assert os.path.getsize(path) > buffer_events
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)

@@ -13,6 +13,7 @@ from repro.runtime.analysis import memory_footprint
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simulator import simulate
 from repro.runtime.tracefmt import (
+    ChromeTraceWriter,
     assign_lanes,
     save_chrome_trace,
     text_gantt,
@@ -138,6 +139,77 @@ class TestCounterEvents:
             assert total == pytest.approx(trace.net_stats.bytes_sent[node])
         # in-flight counter returns to zero once all flows drain
         assert flight[-1]["args"]["msgs"] == 0
+
+
+class TestChromeTraceWriter:
+    """Streaming writer: same timeline as the offline exporter, written
+    incrementally under a bounded buffer instead of from a record list."""
+
+    def _stream(self, tmp_path, pattern=None, n=6, buffer_events=8,
+                **sim_kw):
+        pattern = pattern or bc2d(2, 2)
+        dist = TileDistribution(pattern, n)
+        graph, home = build_lu_graph(dist, 8)
+        cl = ClusterSpec(nnodes=pattern.nnodes, cores_per_node=2,
+                         core_gflops=1.0, bandwidth_Bps=1e9, latency_s=0.0,
+                         tile_size=8)
+        path = tmp_path / "stream.json"
+        with ChromeTraceWriter(path, graph=graph,
+                               buffer_events=buffer_events) as w:
+            trace = simulate(graph, cl, data_home=home, trace_writer=w,
+                             **sim_kw)
+        return graph, trace, w, json.loads(path.read_text())
+
+    def test_valid_json_and_incremental_flushes(self, tmp_path):
+        _, _, w, data = self._stream(tmp_path, buffer_events=8)
+        assert "traceEvents" in data
+        assert w.flushes > 1, "tiny buffer must force incremental flushes"
+        # metadata (ph "M") events emitted at close are counted too
+        assert w.events_written == len(data["traceEvents"])
+
+    def test_task_events_match_offline_exporter(self, tmp_path):
+        graph, _, _, data = self._stream(tmp_path)
+        # offline reference: same run recorded in memory, then exported
+        graph2, trace, _, _ = run(bc2d(2, 2))
+        offline = [(e["name"], e["pid"], e["ts"], e["dur"])
+                   for e in to_chrome_trace(trace, graph2)
+                   if e.get("ph") == "X" and e.get("cat") != "msg"]
+        streamed = [(e["name"], e["pid"], e["ts"], e["dur"])
+                    for e in data["traceEvents"] if e.get("cat") == "task"]
+        assert sorted(streamed) == sorted(offline)
+
+    def test_no_lane_overlap(self, tmp_path):
+        _, _, _, data = self._stream(tmp_path, n=8)
+        spans = {}
+        for e in data["traceEvents"]:
+            if e.get("cat") == "task":
+                spans.setdefault((e["pid"], e["tid"]), []).append(
+                    (e["ts"], e["ts"] + e["dur"]))
+        assert spans
+        for lane in spans.values():
+            lane.sort()
+            for (_, e1), (s2, _) in zip(lane, lane[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_msg_events_streamed(self, tmp_path):
+        _, trace, _, data = self._stream(tmp_path)
+        msgs = [e for e in data["traceEvents"] if e.get("cat") == "msg"]
+        assert len(msgs) == trace.n_messages > 0
+
+    def test_fault_run_streams_only_survivors(self, tmp_path):
+        graph, trace, _, data = self._stream(
+            tmp_path, pattern=g2dbc(5), n=8,
+            faults="fail:1@2e-4,seed:3", record_tasks=True)
+        tasks = [e for e in data["traceEvents"] if e.get("cat") == "task"]
+        # aborted tasks are retracted before the buffered flush, so the
+        # stream carries exactly the surviving records
+        assert len(tasks) == len(trace.task_records)
+        assert any(e.get("ph") == "i" for e in data["traceEvents"])
+
+    def test_close_idempotent(self, tmp_path):
+        _, _, w, _ = self._stream(tmp_path)
+        w.close()  # second close after the context manager: no error
+        assert w.events_written > 0
 
 
 class TestTextGantt:

@@ -110,6 +110,16 @@ class TestSimulateCommand:
                      "--tile-size", "100", "--kernel", "lu"]) == 0
         assert "degraded run" not in capsys.readouterr().out
 
+    def test_trace_out_streams_chrome_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["simulate", "-P", "6", "--tiles", "8",
+                     "--tile-size", "100", "--kernel", "lu",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace_out" in out and "events" in out
+        data = json.loads(path.read_text())
+        assert any(e.get("cat") == "task" for e in data["traceEvents"])
+
 
 class TestCampaignCommand:
     def test_smoke(self, capsys):
@@ -134,6 +144,27 @@ class TestDbCommand:
                      "--out", str(path)]) == 0
         data = json.loads(path.read_text())
         assert set(data) == {str(P) for P in range(2, 9)}
+
+
+class TestStoreStatsCommand:
+    def test_empty_store_reports_zero_shards(self, tmp_path, capsys):
+        assert main(["store", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 shard file(s)" in out
+        assert "hot hits" in out and "costs" in out
+
+    def test_inventory_and_probe_counters(self, tmp_path, capsys):
+        d = str(tmp_path / "store")
+        assert main(["store", "precompute", "--dir", d, "--nodes", "5",
+                     "--kernel", "cholesky", "--budget", "2"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", d, "--nodes", "5",
+                     "--kernel", "cholesky"]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard file(s)" in out and "1 pattern(s)" in out
+        assert "P 5-5" in out
+        # the --nodes probe hit the warmed shard: a cold hit, no fallback
+        assert "cold hits 1" in out and "fallbacks 0" in out
 
 
 class TestValidateCommand:
