@@ -1,21 +1,23 @@
 """Extension (Section II-C): intra-node scheduling policy ablation.
 
 The paper credits the task-based model's dynamic scheduling for part of
-its performance.  This ablation quantifies the claim on the simulator:
-panel-aware ordering ("priority", StarPU-like) vs the natural
-submission order ("fifo") vs the adversarial newest-first ("lifo").
+its performance.  This ablation quantifies the claim on the simulator,
+now over *every* policy in the scheduler registry
+(`repro.runtime.schedulers`) — the legacy trio plus critical-path
+lookahead, comm-avoidance and work stealing — and scores each run
+against the policy-universal lower bounds of
+`repro.cost.schedule_lower_bounds` (the `optimality_ratio` column:
+makespan over the best bound, 1.0 = provably unbeatable).
 """
-
-import dataclasses
 
 import pytest
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.harness import run_factorization
-from repro.experiments.machine import sim_cluster
 from repro.patterns.g2dbc import g2dbc
+from repro.runtime.schedulers import registered_schedulers
 
-POLICIES = ("priority", "fifo", "lifo")
+POLICIES = registered_schedulers()
 
 
 @pytest.mark.benchmark(group="ext-scheduler")
@@ -27,10 +29,12 @@ def test_scheduler_ablation(benchmark, save_result):
         rows = []
         pat = g2dbc(P)
         for policy in POLICIES:
-            cl = dataclasses.replace(sim_cluster(P), scheduler=policy)
-            tr = run_factorization(pat, n_tiles, "lu", cluster=cl)
+            tr = run_factorization(pat, n_tiles, "lu", scheduler=policy,
+                                   attach_bounds=True)
             rows.append({"policy": policy, "gflops": tr.gflops,
-                         "makespan_s": tr.makespan, "utilization": tr.utilization})
+                         "makespan_s": tr.makespan,
+                         "utilization": tr.utilization,
+                         "optimality_ratio": tr.optimality_ratio})
         return FigureResult("Extension", f"LU scheduler policies (G-2DBC, P={P}, "
                             f"{n_tiles} tiles)", rows)
 
@@ -42,3 +46,6 @@ def test_scheduler_ablation(benchmark, save_result):
     assert by["lifo"] >= min(by["priority"], by["fifo"]) * 0.999
     # priority and fifo are close (submission order is already panel-first)
     assert by["priority"] == pytest.approx(by["fifo"], rel=0.25)
+    # every makespan respects the lower bound: ratios are ≥ 1
+    for r in result.rows:
+        assert r["optimality_ratio"] >= 1.0 - 1e-9

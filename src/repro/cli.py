@@ -31,6 +31,7 @@ from .patterns.io import save_database, save_pattern
 from .patterns.library import PATTERN_FAMILIES, PatternDatabase, best_pattern
 from .patterns.sbc import sbc_cost, sbc_feasible
 from .runtime.network import NETWORK_MODELS
+from .runtime.schedulers import registered_schedulers
 
 __all__ = ["main", "build_parser"]
 
@@ -91,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", choices=sorted(NETWORK_MODELS), default="nic",
                    help="communication model (nic = legacy sender-serialized, "
                         "contention = rx serialization + latency + shared link)")
+    p.add_argument("--scheduler", choices=registered_schedulers(),
+                   default="priority",
+                   help="intra-node scheduling policy (scheduler registry)")
     p.add_argument("--faults", metavar="SPEC", default="",
                    help="fault plan, e.g. 'fail:2@0.05,loss:0.01,seed:7' "
                         "(fail:N@T, slow:N@T0-T1xF, degrade:T0-T1xF, loss:P, "
@@ -120,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", nargs="+", default=[""], metavar="SPEC",
                    help="fault-plan axis; each SPEC adds a degraded variant "
                         "of every cell ('' = fault-free)")
+    p.add_argument("--scheduler", nargs="+", default=["priority"],
+                   choices=registered_schedulers(), metavar="POLICY",
+                   help="scheduler-policy axis; every row carries its "
+                        "schedule lower bound and optimality_ratio")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the rows as CSV")
     p.add_argument("--store", metavar="DIR", default=None,
@@ -283,7 +291,9 @@ def cmd_simulate(args) -> int:
     try:
         trace = run_factorization(pat, args.tiles, args.kernel,
                                   tile_size=args.tile_size,
-                                  network=args.network, trace_writer=writer)
+                                  network=args.network, trace_writer=writer,
+                                  scheduler=args.scheduler,
+                                  attach_bounds=True)
     finally:
         if writer is not None:
             writer.close()
@@ -291,9 +301,11 @@ def cmd_simulate(args) -> int:
     if args.faults:
         faulted = run_factorization(pat, args.tiles, args.kernel,
                                     tile_size=args.tile_size,
-                                    network=args.network, faults=args.faults)
+                                    network=args.network, faults=args.faults,
+                                    scheduler=args.scheduler)
     print(f"pattern    : {pat.name} (T = {pat.cost(args.kernel):.3f})")
     print(f"network    : {trace.network}")
+    print(f"scheduler  : {args.scheduler}")
     for key, val in trace.summary().items():
         print(f"{key:<20}: {val:,.4f}")
     comm = comm_breakdown(trace)
@@ -324,7 +336,7 @@ def cmd_campaign(args) -> int:
     cells = plan_campaign(
         args.families, Ps=args.nodes, ms=args.tiles, networks=args.networks,
         kernels=[args.kernel] if args.kernel else None,
-        faults=args.faults)
+        faults=args.faults, schedulers=args.scheduler)
     if not cells:
         print("no feasible cells in the requested grid")
         return 1

@@ -15,6 +15,7 @@ from .bounds import (
 )
 from .exact import CommCount, count_cholesky_messages, count_lu_messages
 from .metrics import CommModel, communication_cost, per_node_volume, q_cholesky, q_lu
+from .schedbounds import ScheduleBounds, schedule_lower_bounds
 from .replication import (
     gemm_volume_per_node,
     lu_volume_per_node,
@@ -47,6 +48,8 @@ __all__ = [
     "cholesky_io_lower_bound",
     "cholesky_io_lower_bound_symmetric",
     "parallel_per_node_bound",
+    "ScheduleBounds",
+    "schedule_lower_bounds",
     "gemm_volume_per_node",
     "lu_volume_per_node",
     "max_useful_replication",

@@ -36,6 +36,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cost.exact import count_cholesky_messages, count_lu_messages
+from ..cost.schedbounds import schedule_lower_bounds
 from ..distribution import TileDistribution
 from ..dla.cholesky import build_cholesky_graph
 from ..dla.lu import build_lu_graph
@@ -46,6 +47,7 @@ from ..patterns.sts import sts_node_counts
 from ..runtime.analysis import makespan_bounds
 from ..runtime.faults import colrow_recovery, parse_faults
 from ..runtime.network import NETWORK_MODELS
+from ..runtime.schedulers import registered_schedulers
 from ..runtime.shmgraph import attach_graph, publish_graph, unpublish
 from ..runtime.simulator import simulate
 from .machine import PAPER_TILE_SIZE, sim_cluster
@@ -83,11 +85,13 @@ class CampaignCell:
     network: str = "nic"             #: simulator network model
     bandwidth_scale: float = 1.0     #: multiplier on the platform bandwidth
     faults: str = ""                 #: fault spec (``parse_faults`` grammar)
+    scheduler: str = "priority"      #: registered scheduling policy
 
     def signature(self) -> tuple:
         """Hashable memoization key (includes every field)."""
         return (self.family, self.kernel, self.P, self.m,
-                self.network, self.bandwidth_scale, self.faults)
+                self.network, self.bandwidth_scale, self.faults,
+                self.scheduler)
 
 
 @dataclass
@@ -111,6 +115,10 @@ class CampaignRow:
     link_busy_fraction: float    #: shared-link occupancy (0 under "nic")
     n_eager: int
     n_rendezvous: int
+    # distance-from-optimal columns (cost/schedbounds.py)
+    scheduler: str = "priority"      #: scheduling policy of the run
+    schedule_bound_s: float = 0.0    #: best policy-universal lower bound
+    optimality_ratio: float = float("inf")  #: makespan / schedule_bound_s
     # degraded-run columns (defaults = fault-free cell)
     faults: str = ""                      #: the cell's fault spec
     faultfree_makespan_s: float = 0.0     #: same cell simulated fault-free
@@ -146,6 +154,7 @@ def plan_campaign(
     kernels: Optional[Sequence[str]] = None,
     bandwidth_scales: Sequence[float] = (1.0,),
     faults: Sequence[str] = ("",),
+    schedulers: Sequence[str] = ("priority",),
 ) -> List[CampaignCell]:
     """Expand a grid into feasible :class:`CampaignCell` specs.
 
@@ -155,11 +164,18 @@ def plan_campaign(
     an extra grid axis of :func:`~repro.runtime.faults.parse_faults`
     spec strings (``""`` = fault-free); degraded cells carry
     makespan-inflation and recovery columns in their rows.
+    ``schedulers`` is the policy axis (names from the scheduler
+    registry); every row carries the policy's ``optimality_ratio``.
     """
     for net in networks:
         if net not in NETWORK_MODELS:
             raise ValueError(
                 f"unknown network model {net!r}; have {sorted(NETWORK_MODELS)}")
+    for pol in schedulers:
+        if pol not in registered_schedulers():
+            raise ValueError(
+                f"unknown scheduler {pol!r}; registered policies: "
+                f"{', '.join(registered_schedulers())}")
     for spec in faults:
         parse_faults(spec)  # validate the grammar before fanning out
     cells: List[CampaignCell] = []
@@ -177,10 +193,11 @@ def plan_campaign(
                     for net in networks:
                         for bw in bandwidth_scales:
                             for spec in faults:
-                                cells.append(CampaignCell(
-                                    family=family, kernel=kernel, P=P, m=m,
-                                    network=net, bandwidth_scale=bw,
-                                    faults=spec))
+                                for pol in schedulers:
+                                    cells.append(CampaignCell(
+                                        family=family, kernel=kernel, P=P,
+                                        m=m, network=net, bandwidth_scale=bw,
+                                        faults=spec, scheduler=pol))
     return cells
 
 
@@ -249,6 +266,8 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
     if cell.bandwidth_scale != 1.0:
         cluster = replace(
             cluster, bandwidth_Bps=cluster.bandwidth_Bps * cell.bandwidth_scale)
+    if cell.scheduler != "priority":
+        cluster = replace(cluster, scheduler=cell.scheduler)
     if prebuilt is not None:
         graph, home = prebuilt
     else:
@@ -262,6 +281,8 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
     else:
         raise ValueError(f"unknown kernel {cell.kernel!r}")
     bounds = makespan_bounds(graph, cluster)
+    sched_bounds = schedule_lower_bounds(graph, cluster, data_home=home,
+                                         network=cell.network)
     baseline = simulate(graph, cluster, data_home=home, network=cell.network)
     plan = parse_faults(cell.faults)
     if plan:
@@ -274,6 +295,7 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
     else:
         trace = baseline
         fs = None
+    trace.sched_bounds = sched_bounds
     net = trace.net_stats
     fr = net.busy_fractions(trace.makespan) if net is not None else {"link_busy": 0.0}
     return CampaignRow(
@@ -290,6 +312,9 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
         link_busy_fraction=float(fr["link_busy"]),
         n_eager=int(net.n_eager) if net is not None else 0,
         n_rendezvous=int(net.n_rendezvous) if net is not None else 0,
+        scheduler=cell.scheduler,
+        schedule_bound_s=float(sched_bounds.best),
+        optimality_ratio=float(trace.optimality_ratio),
         faults=cell.faults,
         faultfree_makespan_s=float(baseline.makespan),
         makespan_inflation=(float(trace.makespan / baseline.makespan)
@@ -404,11 +429,15 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
     """
     rows = list(rows)
     faulted = any(r.faults for r in rows)
+    policies = any(r.scheduler != "priority" for r in rows)
     header = (
         f"{'family':<14} {'kernel':<9} {'net':<11} {'P':>4} {'m':>4} "
         f"{'T(G)':>7} {'msg pred':>9} {'msg sim':>9} {'bound s':>10} "
-        f"{'sim s':>10} {'ratio':>6} {'GF/s/node':>10} {'link':>6}"
+        f"{'sim s':>10} {'ratio':>6} {'GF/s/node':>10} {'link':>6} "
+        f"{'opt':>6}"
     )
+    if policies:
+        header += f" {'sched':<13}"
     if faulted:
         header += (f" {'faults':<24} {'ff s':>10} {'infl':>6} "
                    f"{'rec':>5} {'lost':>5} {'retry':>5}")
@@ -419,8 +448,11 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
             f"{r.pattern_cost:>7.3f} {r.predicted_messages:>9} "
             f"{r.simulated_messages:>9} {r.predicted_makespan_s:>10.4g} "
             f"{r.makespan_s:>10.4g} {r.makespan_ratio:>6.3f} "
-            f"{r.gflops_per_node:>10.1f} {r.link_busy_fraction:>6.1%}"
+            f"{r.gflops_per_node:>10.1f} {r.link_busy_fraction:>6.1%} "
+            f"{r.optimality_ratio:>6.3f}"
         )
+        if policies:
+            line += f" {r.scheduler:<13}"
         if faulted:
             line += (f" {(r.faults or '-'):<24} {r.faultfree_makespan_s:>10.4g} "
                      f"{r.makespan_inflation:>6.3f} {r.recovery_messages:>5} "

@@ -61,6 +61,8 @@ def run_factorization(
     faults=None,
     recovery=None,
     trace_writer=None,
+    scheduler: Optional[str] = None,
+    attach_bounds: bool = False,
 ) -> ExecutionTrace:
     """Simulate one factorization run under ``pattern``.
 
@@ -70,12 +72,21 @@ def run_factorization(
     :class:`~repro.runtime.faults.FaultPlan` or spec string; when set
     (and no explicit ``recovery`` policy is given), failed nodes are
     re-homed onto their pattern colrow peers
-    (:func:`~repro.runtime.faults.colrow_recovery`).
+    (:func:`~repro.runtime.faults.colrow_recovery`).  ``scheduler``
+    overrides the cluster's scheduling policy (a registry name);
+    ``attach_bounds=True`` computes
+    :func:`~repro.cost.schedbounds.schedule_lower_bounds` and attaches
+    them to the returned trace, so ``trace.optimality_ratio`` and the
+    bound entries of ``summary()`` are populated.
     """
     if cluster is None:
         cluster = sim_cluster(pattern.nnodes, tile_size=tile_size)
     elif cluster.nnodes < pattern.nnodes:
         cluster = cluster.with_nodes(pattern.nnodes)
+    if scheduler is not None and scheduler != cluster.scheduler:
+        from dataclasses import replace
+
+        cluster = replace(cluster, scheduler=scheduler)
     if kernel == "lu":
         dist = TileDistribution(pattern, n_tiles, symmetric=False)
         graph, home = build_lu_graph(dist, tile_size)
@@ -89,10 +100,18 @@ def run_factorization(
         recovery = colrow_recovery(pattern)
     if trace_writer is not None and getattr(trace_writer, "graph", False) is None:
         trace_writer.graph = graph  # kernel-labelled slices for free
-    return simulate(graph, cluster, data_home=home,
-                    network=network, record_tasks=record_tasks,
-                    faults=faults, recovery=recovery,
-                    trace_writer=trace_writer)
+    trace = simulate(graph, cluster, data_home=home,
+                     network=network, record_tasks=record_tasks,
+                     faults=faults, recovery=recovery,
+                     trace_writer=trace_writer)
+    if attach_bounds:
+        from ..cost.schedbounds import schedule_lower_bounds
+
+        net_name = network if isinstance(network, str) \
+            else getattr(network, "name", "nic")
+        trace.sched_bounds = schedule_lower_bounds(
+            graph, cluster, data_home=home, network=net_name or "nic")
+    return trace
 
 
 def sweep(

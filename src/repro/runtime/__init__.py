@@ -30,6 +30,14 @@ from .network import (
     make_network,
 )
 from .objsim import simulate_reference
+from .schedulers import (
+    SCHEDULERS,
+    Scheduler,
+    bottom_levels,
+    make_scheduler,
+    register_scheduler,
+    registered_schedulers,
+)
 from .simulator import SimulationError, simulate
 from .stats import (
     TraceStats,
@@ -83,6 +91,12 @@ __all__ = [
     "recovery_peers",
     "simulate_with_faults",
     "fault_breakdown",
+    "SCHEDULERS",
+    "Scheduler",
+    "bottom_levels",
+    "make_scheduler",
+    "register_scheduler",
+    "registered_schedulers",
     "SimulationError",
     "TraceStats",
     "comm_breakdown",

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .schedulers import SCHEDULERS, registered_schedulers
+
 __all__ = ["ClusterSpec", "paper_cluster"]
 
 
@@ -72,9 +74,12 @@ class ClusterSpec:
     def __post_init__(self):
         if self.multicast not in ("p2p", "tree"):
             raise ValueError(f"multicast must be 'p2p' or 'tree', got {self.multicast!r}")
-        if self.scheduler not in ("priority", "fifo", "lifo"):
+        if self.scheduler not in SCHEDULERS:
+            # eager validation: an unknown name must never fall through
+            # to the event loop silently
             raise ValueError(
-                f"scheduler must be 'priority', 'fifo' or 'lifo', got {self.scheduler!r}"
+                f"unknown scheduler {self.scheduler!r}; registered "
+                f"policies: {', '.join(registered_schedulers())}"
             )
         if self.node_speeds and len(self.node_speeds) != self.nnodes:
             raise ValueError(

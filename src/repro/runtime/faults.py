@@ -444,8 +444,27 @@ def simulate_with_faults(
     wd = cols.write_data.tolist()
     wv = cols.write_version.tolist()
     base_dur = (cols.flops / cluster.core_flops).tolist()
-    keys_l = ((cols.k << 40) | (cols.kind.astype(np.int64) << 32)
-              | np.arange(n_tasks, dtype=np.int64)).tolist()
+
+    # scheduling keys come from the registry, exactly as in the
+    # fault-free loop.  Stealing policies fall back to their key order
+    # without the steal hook: re-homing already rebalances a degraded
+    # run, and stolen-task bookkeeping does not compose with abort /
+    # resurrect semantics.
+    from .schedulers import make_scheduler
+    from .simplan import get_plan
+
+    sched = make_scheduler(cluster.scheduler)
+    if sched.dynamic:
+        static_l: Optional[List[int]] = None
+        dyn_key = sched.dynamic_key
+    else:
+        dur_arr = cols.flops / cluster.core_flops
+        if cluster.node_speeds:
+            dur_arr = dur_arr / np.asarray(cluster.node_speeds,
+                                           dtype=np.float64)[cols.node]
+        static_l = sched.static_keys(get_plan(graph, data_home), graph,
+                                     cluster, dur_arr).tolist()
+        dyn_key = None
 
     #: consumers of each producer's output, in read-scan order (the
     #: order the static message plan of the fast path uses)
@@ -531,21 +550,17 @@ def simulate_with_faults(
     rr_counter: Dict[int, int] = {}
     tile_bytes = float(cluster.tile_bytes)
 
-    policy = cluster.scheduler
-    prio = policy == "priority"
-    fifo = policy == "fifo"
     enqueue_seq = 0
 
     def enqueue(tid: int) -> int:
         nonlocal enqueue_seq
         state[tid] = _QUEUED
         nd = node_of[tid]
-        if prio:
-            key = keys_l[tid]
+        if static_l is not None:
+            key = static_l[tid]
         else:
             enqueue_seq += 1
-            key = ((enqueue_seq << 32) | tid if fifo
-                   else (((1 << 62) - enqueue_seq) << 32) | tid)
+            key = dyn_key(enqueue_seq, tid)
         heappush(ready[nd], key)
         return nd
 

@@ -72,6 +72,7 @@ from .network import (
     NicModel,
     make_network,
 )
+from .schedulers import make_scheduler
 from .simplan import get_plan
 from .trace import ExecutionTrace, TaskRecord, TraceWriter
 
@@ -288,9 +289,21 @@ def simulate(
 
     model.bind(cluster, push_event, record=record_tasks, writer=trace_writer)
 
+    # scheduling policy, resolved through the registry: static policies
+    # provide a per-task key table (the default priority policy returns
+    # ``plan.keys`` by identity, so ``static_l`` aliases ``keys_l`` and
+    # the arithmetic below is unchanged); dynamic policies (fifo/lifo)
+    # pack the enqueue sequence number instead.
     policy = cluster.scheduler
     prio = policy == "priority"
-    fifo = policy == "fifo"
+    sched = make_scheduler(policy)
+    if sched.dynamic:
+        static_l: Optional[List[int]] = None
+        dyn_key = sched.dynamic_key
+    else:
+        karr = sched.static_keys(plan, graph, cluster, dur_a)
+        static_l = keys_l if karr is plan.keys else karr.tolist()
+        dyn_key = None
     enqueue_seq = 0
 
     # fork-join mode: a global barrier between iterations (Section II-C's
@@ -310,17 +323,15 @@ def simulate(
     gate_val = iterations[0] if iterations else (1 << 62)
 
     def enqueue(tid: int) -> int:
-        """Push a ready task onto its node's scheduling queue
-        (``fifo``/``lifo`` are the naive scheduler-ablation baselines)."""
+        """Push a ready task onto its node's scheduling queue, keyed by
+        the registered policy (static key table or enqueue-order key)."""
         nonlocal enqueue_seq
         n = node_l[tid]
-        if prio:
-            key = keys_l[tid]
+        if static_l is not None:
+            key = static_l[tid]
         else:
-            # same int packing: seq (negated for lifo) above the tid bits
             enqueue_seq += 1
-            key = ((enqueue_seq << 32) | tid if fifo
-                   else (((1 << 62) - enqueue_seq) << 32) | tid)
+            key = dyn_key(enqueue_seq, tid)
         heappush(ready[n], key)
         return n
 
@@ -351,6 +362,45 @@ def simulate(
     # fully specialized hot path: priority scheduler, no fork-join gate,
     # no task recording (``use_codes`` implies rec_task is None)
     ffast = fast and use_codes
+
+    # work stealing (see schedulers.py): after each event batch, idle
+    # nodes with empty queues pull queued tasks from victims.  The
+    # thief pays one message_time on top of its own execution speed;
+    # the output still materializes at the owner (wakes and the message
+    # plan are untouched), so message totals are policy-invariant.
+    stealing = sched.steals
+    if stealing:
+        victims = sched.victim_order(plan, Pn)
+        steal_pen = cluster.message_time()
+        base_dur_l = (cols.flops / cluster.core_flops).tolist()
+        speeds_l = list(cluster.node_speeds) if cluster.node_speeds else None
+        ran_on: Dict[int, int] = {}
+
+        def rebalance(t: float) -> None:
+            nonlocal seq
+            for n in range(Pn):
+                idl = idle[n]
+                if idl <= 0 or ready[n]:
+                    continue
+                for v in victims[n]:
+                    rq = ready[v]
+                    while idl > 0 and rq:
+                        tid2 = heappop(rq) & 0xFFFFFFFF
+                        dur = base_dur_l[tid2]
+                        if speeds_l is not None:
+                            dur = dur / speeds_l[n]
+                        dur += steal_pen
+                        ran_on[tid2] = n
+                        idl -= 1
+                        busy[n] += dur
+                        seq += 4
+                        heappush(events, (t + dur, seq, tid2))
+                        if rec_task is not None:
+                            rec_task(TaskRecord(tid=tid2, node=n,
+                                                start=t, end=t + dur))
+                    if idl == 0:
+                        break
+                idle[n] = idl
 
     def deliver(ref, dst: int, t: float, msg_waiters=msg_waiters,
                 pending_l=pending_l, keys_l=keys_l, ready=ready,
@@ -392,6 +442,8 @@ def simulate(
     for n in range(cluster.nnodes):
         if ready[n]:
             dispatch(n, 0.0)
+    if stealing:
+        rebalance(0.0)
 
     # ------------------------------------------------------------------
     # Event loop
@@ -526,7 +578,14 @@ def simulate(
                                         woken.add(enqueue(tid2))
                             gate_val = (iterations[gate_idx]
                                         if gate_idx < len(iterations) else (1 << 62))
-                        idle[tnode] += 1
+                        if stealing:
+                            # a stolen task frees a core on the thief,
+                            # not the owner; wakes stay with the owner
+                            wnode = ran_on.pop(tid, tnode)
+                            idle[wnode] += 1
+                            woken.add(wnode)
+                        else:
+                            idle[tnode] += 1
                         for n in sorted(woken):
                             dispatch(n, now)
             elif etype == _MSG_ARRIVE:
@@ -596,6 +655,8 @@ def simulate(
                 _, tag, payload = heappop(events)
             else:
                 break
+        if stealing:
+            rebalance(now)
 
     if completed != n_tasks:
         _raise_deadlock(graph, n_tasks, completed, pending_l, deferred)

@@ -11,6 +11,7 @@ import numpy as np
 from .cluster import ClusterSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..cost.schedbounds import ScheduleBounds
     from .faults import FaultStats
     from .network import NetworkStats
 
@@ -102,6 +103,9 @@ class ExecutionTrace:
     net_stats: Optional["NetworkStats"] = None  #: structured comm observability
     msg_records: Optional[List[MsgRecord]] = None  #: per-message tracing
     fault_stats: Optional["FaultStats"] = None  #: degraded-run observability
+    #: policy-universal lower bounds (cost/schedbounds.py), attached by
+    #: callers that want distance-from-optimal reporting
+    sched_bounds: Optional["ScheduleBounds"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +139,15 @@ class ExecutionTrace:
         return float(self.busy_time.sum() / cap) if cap > 0 else 0.0
 
     @property
+    def optimality_ratio(self) -> float:
+        """Makespan over the best schedule lower bound (≥ 1 when
+        ``sched_bounds`` is attached and meaningful; ``inf`` without
+        bounds — the ratio of an unbounded run is unknown, not 1)."""
+        if self.sched_bounds is None or self.sched_bounds.best <= 0:
+            return float("inf")
+        return self.makespan / self.sched_bounds.best
+
+    @property
     def parallel_efficiency(self) -> float:
         """Achieved GFlop/s over the cluster peak (speed-weighted for
         heterogeneous clusters via ``ClusterSpec.total_speed()``)."""
@@ -156,6 +169,11 @@ class ExecutionTrace:
             "n_messages": float(self.n_messages),
             "gbytes_sent": self.bytes_sent / 1e9,
         }
+        if self.sched_bounds is not None:
+            # only present when a caller attached bounds, so default
+            # summaries (and their tests) are untouched
+            out["schedule_bound_s"] = self.sched_bounds.best
+            out["optimality_ratio"] = self.optimality_ratio
         if self.fault_stats is not None:
             fs = self.fault_stats
             out.update({
@@ -200,6 +218,11 @@ class ExecutionTrace:
                 f"{float(m.start).hex()},{float(m.end).hex()}"
                 for m in self.msg_records)
             out["msg_records_sha256"] = hashlib.sha256(blob.encode()).hexdigest()
+        if self.sched_bounds is not None:
+            # only present when bounds were attached — existing golden
+            # traces (no bounds) are untouched
+            out["sched_bounds"] = self.sched_bounds.to_canonical()
+            out["optimality_ratio"] = float(self.optimality_ratio).hex()
         if self.fault_stats is not None:
             # only present on degraded runs, so fault-free canonical
             # output (and every golden trace) is untouched

@@ -92,6 +92,34 @@ def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) ->
         })
     events.extend(_counter_events(trace))
     events.extend(_fault_events(trace))
+    events.extend(_bound_events(trace))
+    return events
+
+
+def _bound_events(trace: ExecutionTrace) -> List[dict]:
+    """Counter ("C") series for the distance-from-optimal layer.
+
+    Present only when the trace carries
+    :class:`~repro.cost.schedbounds.ScheduleBounds`: a flat
+    ``optimality_ratio`` series spanning the run (one sample at t=0 and
+    one at the makespan, so Perfetto draws the level against the task
+    slices) on the synthetic network process.
+    """
+    if trace.sched_bounds is None:
+        return []
+    ratio = trace.optimality_ratio
+    if ratio == float("inf"):
+        return []
+    events = [
+        {"name": "optimality_ratio", "ph": "C", "ts": t * 1e6,
+         "pid": NETWORK_PID, "args": {"ratio": ratio}}
+        for t in (0.0, trace.makespan)
+    ]
+    if not trace.msg_records:
+        # _counter_events only names the network process when message
+        # records exist
+        events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
+                       "args": {"name": f"network ({trace.network})"}})
     return events
 
 

@@ -1,0 +1,91 @@
+"""Optimality-regression gate for the default scheduler.
+
+`benchmarks/results/optimality_baseline.json` pins the default
+(priority) policy's `optimality_ratio` — makespan over the best
+policy-universal lower bound — on a fixed, fast grid.  The simulator
+is deterministic, so these ratios are exactly reproducible; a change
+that worsens any of them by more than 2 % fails here, turning
+"scheduling quietly got worse" into a red CI run instead of a slow
+drift.
+
+Regenerate (only after an *intentional* scheduling change, with the
+new numbers reviewed) with::
+
+    REGEN_OPTIMALITY=1 python -m pytest \
+        tests/experiments/test_optimality_regression.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cost.schedbounds import schedule_lower_bounds
+from repro.experiments.harness import run_factorization
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.gcrm import feasible_sizes, gcrm
+
+BASELINE = (Path(__file__).resolve().parents[2]
+            / "benchmarks" / "results" / "optimality_baseline.json")
+#: worsening tolerated before the gate trips
+TOLERANCE = 0.02
+GRID = [("lu", 23, 32), ("cholesky", 23, 32)]
+
+
+def _pattern(kernel: str, P: int):
+    if kernel == "lu":
+        return g2dbc(P)
+    return gcrm(P, feasible_sizes(P)[0], seed=0).pattern
+
+
+def measure(kernel: str, P: int, m: int) -> float:
+    trace = run_factorization(_pattern(kernel, P), m, kernel,
+                              attach_bounds=True)
+    assert trace.sched_bounds is not None and trace.sched_bounds.best > 0
+    return trace.optimality_ratio
+
+
+def test_default_policy_optimality_regression():
+    actual = {f"{k}_P{P}_m{m}": measure(k, P, m) for k, P, m in GRID}
+    if os.environ.get("REGEN_OPTIMALITY"):
+        BASELINE.parent.mkdir(exist_ok=True)
+        BASELINE.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {BASELINE.name}")
+    baseline = json.loads(BASELINE.read_text())
+    assert set(actual) == set(baseline), (
+        "grid drifted from the baseline file; regenerate with "
+        "REGEN_OPTIMALITY=1")
+    for key, ratio in actual.items():
+        limit = baseline[key] * (1.0 + TOLERANCE)
+        assert ratio <= limit, (
+            f"{key}: optimality_ratio {ratio:.4f} worsened past "
+            f"{baseline[key]:.4f} (+{TOLERANCE:.0%} gate) — the default "
+            f"scheduler got further from the lower bound")
+
+
+def test_baseline_ratios_sane():
+    """The pinned baseline itself must be meaningful: every entry ≥ 1
+    (a ratio below 1 would mean the bound is not a bound)."""
+    baseline = json.loads(BASELINE.read_text())
+    assert set(baseline) == {f"{k}_P{P}_m{m}" for k, P, m in GRID}
+    for key, ratio in baseline.items():
+        assert ratio >= 1.0 - 1e-9, f"{key} pinned below the lower bound"
+
+
+def test_survivor_bounds_attachable():
+    """A degraded run can be scored against survivor-restricted bounds
+    through the same campaign surface (fault plans carry bounds too)."""
+    pat = g2dbc(5)
+    trace = run_factorization(pat, 8, "lu", faults="fail:1@1e-9,seed:3",
+                              attach_bounds=True)
+    assert trace.optimality_ratio >= 1.0 - 1e-9
+    # tightening to the survivors can only raise the floor
+    from repro.distribution import TileDistribution
+    from repro.dla.lu import build_lu_graph
+
+    dist = TileDistribution(pat, 8, symmetric=False)
+    graph, home = build_lu_graph(dist, 500)
+    surv = schedule_lower_bounds(graph, trace.cluster, data_home=home,
+                                 alive_nodes=[0, 2, 3, 4])
+    assert surv.work_time >= trace.sched_bounds.work_time

@@ -140,6 +140,20 @@ class TestCounterEvents:
         # in-flight counter returns to zero once all flows drain
         assert flight[-1]["args"]["msgs"] == 0
 
+    def test_optimality_counter_only_with_bounds(self):
+        from repro.cost.schedbounds import schedule_lower_bounds
+
+        graph, trace, home, cl = run(bc2d(2, 2))
+        assert not [e for e in to_chrome_trace(trace)
+                    if e.get("name") == "optimality_ratio"]
+        trace.sched_bounds = schedule_lower_bounds(graph, cl, data_home=home)
+        ctr = [e for e in to_chrome_trace(trace)
+               if e.get("name") == "optimality_ratio"]
+        # one sample at t=0 and one at the makespan, constant value
+        assert [e["ts"] for e in ctr] == [0.0, trace.makespan * 1e6]
+        assert all(e["args"]["ratio"] == trace.optimality_ratio for e in ctr)
+        assert trace.optimality_ratio >= 1.0
+
 
 class TestChromeTraceWriter:
     """Streaming writer: same timeline as the offline exporter, written
