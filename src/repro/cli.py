@@ -82,6 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=20)
     add_search_flags(p)
 
+    p = sub.add_parser("gcrm",
+                       help="flat vs hierarchy-aware GCR&M for one P")
+    p.add_argument("--nodes", "-P", type=int, required=True,
+                   help="rank count (the pattern's P)")
+    p.add_argument("--topology", type=int, default=2,
+                   metavar="RANKS_PER_NODE",
+                   help="ranks packed per physical machine (default 2)")
+    p.add_argument("--inter-weight", type=float, default=4.0,
+                   help="how much cheaper intra-node messages are than "
+                        "inter-node ones in the hierarchical objective")
+    p.add_argument("--kernel", choices=("lu", "cholesky"),
+                   default="cholesky")
+    p.add_argument("--tiles", type=int, default=32,
+                   help="matrix size in tiles for volume predictions")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="GCR&M search budget")
+    p.add_argument("--show", action="store_true",
+                   help="print both grids")
+    add_search_flags(p)
+
     p = sub.add_parser("simulate", help="simulate a factorization run")
     p.add_argument("--nodes", "-P", type=int, required=True)
     p.add_argument("--tiles", type=int, default=48)
@@ -91,7 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=10)
     p.add_argument("--network", choices=sorted(NETWORK_MODELS), default="nic",
                    help="communication model (nic = legacy sender-serialized, "
-                        "contention = rx serialization + latency + shared link)")
+                        "contention = rx serialization + latency + shared "
+                        "link, hierarchical = two-level intra/inter-node)")
+    p.add_argument("--topology", type=int, default=1,
+                   metavar="RANKS_PER_NODE",
+                   help="pack this many ranks per physical machine "
+                        "(two-level topology; 1 = flat; > 1 switches the "
+                        "default network model to 'hierarchical')")
     p.add_argument("--scheduler", choices=registered_schedulers(),
                    default="priority",
                    help="intra-node scheduling policy (scheduler registry)")
@@ -128,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=registered_schedulers(), metavar="POLICY",
                    help="scheduler-policy axis; every row carries its "
                         "schedule lower bound and optimality_ratio")
+    p.add_argument("--topology", nargs="+", type=int, default=[1],
+                   metavar="RANKS_PER_NODE",
+                   help="ranks-per-node axis (1 = flat); hierarchical "
+                        "cells carry per-level traffic columns")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="also write the rows as CSV")
     p.add_argument("--store", metavar="DIR", default=None,
@@ -278,6 +308,43 @@ def q_lu_from_t(t: float, n: int) -> float:
     return n * (n + 1) / 2 * (t - 2)
 
 
+def cmd_gcrm(args) -> int:
+    from .cost.metrics import inter_node_volume, intra_node_volume
+    from .patterns.gcrm import gcrm_search
+    from .runtime.topology import Topology
+
+    topo = Topology(nranks=args.nodes, ranks_per_node=args.topology)
+    kw = dict(seeds=range(args.seeds), **_search_kwargs(args))
+    flat = gcrm_search(args.nodes, **kw).pattern
+    hier = gcrm_search(args.nodes, topology=topo,
+                       inter_weight=args.inter_weight, **kw).pattern
+    m, kernel = args.tiles, args.kernel
+    print(f"P = {args.nodes} ranks on {topo.nnodes} node(s) "
+          f"({args.topology} ranks/node), inter_weight = "
+          f"{args.inter_weight}, matrix = {m}x{m} tiles")
+    header = (f"{'variant':<10} {'T(G)':>8} {'T_hier':>8} {'imbal':>7} "
+              f"{'inter vol':>10} {'intra vol':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, pat in (("flat", flat), ("hier", hier)):
+        print(f"{name:<10} {pat.cost(kernel):>8.4f} "
+              f"{pat.cost_hier(kernel, topo, args.inter_weight):>8.4f} "
+              f"{pat.load_imbalance():>7.3f} "
+              f"{inter_node_volume(pat, m, kernel, topo):>10.0f} "
+              f"{intra_node_volume(pat, m, kernel, topo):>10.0f}")
+    v_flat = inter_node_volume(flat, m, kernel, topo)
+    v_hier = inter_node_volume(hier, m, kernel, topo)
+    if v_flat > 0:
+        print(f"\ninter-node volume change: "
+              f"{(v_hier - v_flat) / v_flat:+.1%}")
+    if args.show:
+        print("\nflat winner:")
+        print(flat.to_text())
+        print("\nhierarchy-aware winner:")
+        print(hier.to_text())
+    return 0
+
+
 def cmd_simulate(args) -> int:
     from .experiments.harness import run_factorization
     from .runtime.stats import comm_breakdown, fault_breakdown
@@ -289,11 +356,17 @@ def cmd_simulate(args) -> int:
 
         writer = ChromeTraceWriter(args.trace_out)
     try:
+        # an explicit --network always wins; with --topology > 1 and the
+        # default "nic" the harness upgrades to the hierarchical model
+        net = args.network
+        if args.topology > 1 and net == "nic":
+            net = None
         trace = run_factorization(pat, args.tiles, args.kernel,
                                   tile_size=args.tile_size,
-                                  network=args.network, trace_writer=writer,
+                                  network=net, trace_writer=writer,
                                   scheduler=args.scheduler,
-                                  attach_bounds=True)
+                                  attach_bounds=True,
+                                  ranks_per_node=args.topology)
     finally:
         if writer is not None:
             writer.close()
@@ -301,8 +374,9 @@ def cmd_simulate(args) -> int:
     if args.faults:
         faulted = run_factorization(pat, args.tiles, args.kernel,
                                     tile_size=args.tile_size,
-                                    network=args.network, faults=args.faults,
-                                    scheduler=args.scheduler)
+                                    network=net, faults=args.faults,
+                                    scheduler=args.scheduler,
+                                    ranks_per_node=args.topology)
     print(f"pattern    : {pat.name} (T = {pat.cost(args.kernel):.3f})")
     print(f"network    : {trace.network}")
     print(f"scheduler  : {args.scheduler}")
@@ -312,6 +386,13 @@ def cmd_simulate(args) -> int:
     print(f"{'link_busy':<20}: {comm['link_busy_fraction']:,.4f}")
     print(f"{'eager/rendezvous':<20}: "
           f"{comm['n_eager']}/{comm['n_rendezvous']}")
+    if "inter_byte_fraction" in comm:
+        print(f"{'topology':<20}: {comm['ranks_per_node']} ranks/node")
+        print(f"{'inter/intra bytes':<20}: "
+              f"{comm['inter_bytes']:,.0f}/{comm['intra_bytes']:,.0f} "
+              f"(inter {comm['inter_byte_fraction']:.1%})")
+        print(f"{'intra_link_busy':<20}: "
+              f"{comm['intra_link_busy_fraction']:,.4f} node-avg")
     if writer is not None:
         print(f"{'trace_out':<20}: {args.trace_out} "
               f"({writer.events_written} events, {writer.flushes} flushes)")
@@ -336,7 +417,8 @@ def cmd_campaign(args) -> int:
     cells = plan_campaign(
         args.families, Ps=args.nodes, ms=args.tiles, networks=args.networks,
         kernels=[args.kernel] if args.kernel else None,
-        faults=args.faults, schedulers=args.scheduler)
+        faults=args.faults, schedulers=args.scheduler,
+        topologies=args.topology)
     if not cells:
         print("no feasible cells in the requested grid")
         return 1
@@ -503,6 +585,7 @@ _COMMANDS = {
     "pattern": cmd_pattern,
     "report": cmd_report,
     "cost": cmd_cost,
+    "gcrm": cmd_gcrm,
     "simulate": cmd_simulate,
     "campaign": cmd_campaign,
     "store": cmd_store,

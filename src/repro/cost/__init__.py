@@ -14,7 +14,15 @@ from .bounds import (
     syrk_io_lower_bound,
 )
 from .exact import CommCount, count_cholesky_messages, count_lu_messages
-from .metrics import CommModel, communication_cost, per_node_volume, q_cholesky, q_lu
+from .metrics import (
+    CommModel,
+    communication_cost,
+    inter_node_volume,
+    intra_node_volume,
+    per_node_volume,
+    q_cholesky,
+    q_lu,
+)
 from .schedbounds import ScheduleBounds, schedule_lower_bounds
 from .replication import (
     gemm_volume_per_node,
@@ -36,6 +44,8 @@ __all__ = [
     "count_cholesky_messages",
     "count_lu_messages",
     "per_node_volume",
+    "inter_node_volume",
+    "intra_node_volume",
     "q_cholesky",
     "q_lu",
     "lu_pattern_lower_bound",

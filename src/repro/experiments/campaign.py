@@ -86,12 +86,13 @@ class CampaignCell:
     bandwidth_scale: float = 1.0     #: multiplier on the platform bandwidth
     faults: str = ""                 #: fault spec (``parse_faults`` grammar)
     scheduler: str = "priority"      #: registered scheduling policy
+    ranks_per_node: int = 1          #: two-level topology (1 = flat)
 
     def signature(self) -> tuple:
         """Hashable memoization key (includes every field)."""
         return (self.family, self.kernel, self.P, self.m,
                 self.network, self.bandwidth_scale, self.faults,
-                self.scheduler)
+                self.scheduler, self.ranks_per_node)
 
 
 @dataclass
@@ -127,6 +128,12 @@ class CampaignRow:
     recovery_messages: int = 0
     msgs_lost: int = 0
     retries: int = 0
+    # two-level topology columns (defaults = flat cell)
+    ranks_per_node: int = 1           #: ranks packed per physical machine
+    bisection_Bps: float = 0.0        #: effective shared-link bandwidth
+    inter_bytes: float = 0.0          #: bytes crossing machine boundaries
+    intra_bytes: float = 0.0          #: bytes staying inside a machine
+    inter_byte_fraction: float = 0.0  #: inter / (inter + intra)
 
     @property
     def makespan_ratio(self) -> float:
@@ -155,6 +162,7 @@ def plan_campaign(
     bandwidth_scales: Sequence[float] = (1.0,),
     faults: Sequence[str] = ("",),
     schedulers: Sequence[str] = ("priority",),
+    topologies: Sequence[int] = (1,),
 ) -> List[CampaignCell]:
     """Expand a grid into feasible :class:`CampaignCell` specs.
 
@@ -166,6 +174,8 @@ def plan_campaign(
     makespan-inflation and recovery columns in their rows.
     ``schedulers`` is the policy axis (names from the scheduler
     registry); every row carries the policy's ``optimality_ratio``.
+    ``topologies`` is the ranks-per-node axis (``1`` = the paper's flat
+    model); hierarchical cells carry per-level traffic columns.
     """
     for net in networks:
         if net not in NETWORK_MODELS:
@@ -178,6 +188,9 @@ def plan_campaign(
                 f"{', '.join(registered_schedulers())}")
     for spec in faults:
         parse_faults(spec)  # validate the grammar before fanning out
+    for rpn in topologies:
+        if rpn < 1:
+            raise ValueError(f"ranks_per_node must be >= 1, got {rpn}")
     cells: List[CampaignCell] = []
     for family in families:
         if family not in PATTERN_FAMILIES:
@@ -194,10 +207,13 @@ def plan_campaign(
                         for bw in bandwidth_scales:
                             for spec in faults:
                                 for pol in schedulers:
-                                    cells.append(CampaignCell(
-                                        family=family, kernel=kernel, P=P,
-                                        m=m, network=net, bandwidth_scale=bw,
-                                        faults=spec, scheduler=pol))
+                                    for rpn in topologies:
+                                        cells.append(CampaignCell(
+                                            family=family, kernel=kernel,
+                                            P=P, m=m, network=net,
+                                            bandwidth_scale=bw,
+                                            faults=spec, scheduler=pol,
+                                            ranks_per_node=rpn))
     return cells
 
 
@@ -268,6 +284,8 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
             cluster, bandwidth_Bps=cluster.bandwidth_Bps * cell.bandwidth_scale)
     if cell.scheduler != "priority":
         cluster = replace(cluster, scheduler=cell.scheduler)
+    if cell.ranks_per_node != 1:
+        cluster = replace(cluster, ranks_per_node=cell.ranks_per_node)
     if prebuilt is not None:
         graph, home = prebuilt
     else:
@@ -323,6 +341,14 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
         recovery_messages=fs.recovery_messages if fs else 0,
         msgs_lost=fs.msgs_lost if fs else 0,
         retries=fs.retries if fs else 0,
+        ranks_per_node=cell.ranks_per_node,
+        bisection_Bps=float(net.bisection_Bps) if net is not None else 0.0,
+        inter_bytes=float(net.inter_bytes) if net is not None else 0.0,
+        intra_bytes=float(net.intra_bytes) if net is not None else 0.0,
+        inter_byte_fraction=(
+            float(net.inter_bytes / (net.inter_bytes + net.intra_bytes))
+            if net is not None and net.inter_bytes + net.intra_bytes > 0
+            else 0.0),
     )
 
 
@@ -430,6 +456,7 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
     rows = list(rows)
     faulted = any(r.faults for r in rows)
     policies = any(r.scheduler != "priority" for r in rows)
+    hier = any(r.ranks_per_node > 1 for r in rows)
     header = (
         f"{'family':<14} {'kernel':<9} {'net':<11} {'P':>4} {'m':>4} "
         f"{'T(G)':>7} {'msg pred':>9} {'msg sim':>9} {'bound s':>10} "
@@ -438,6 +465,8 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
     )
     if policies:
         header += f" {'sched':<13}"
+    if hier:
+        header += f" {'rpn':>4} {'inter%':>7} {'bisec B/s':>10}"
     if faulted:
         header += (f" {'faults':<24} {'ff s':>10} {'infl':>6} "
                    f"{'rec':>5} {'lost':>5} {'retry':>5}")
@@ -453,6 +482,9 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
         )
         if policies:
             line += f" {r.scheduler:<13}"
+        if hier:
+            line += (f" {r.ranks_per_node:>4} {r.inter_byte_fraction:>7.1%} "
+                     f"{r.bisection_Bps:>10.3g}")
         if faulted:
             line += (f" {(r.faults or '-'):<24} {r.faultfree_makespan_s:>10.4g} "
                      f"{r.makespan_inflation:>6.3f} {r.recovery_messages:>5} "

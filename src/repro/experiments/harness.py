@@ -63,6 +63,7 @@ def run_factorization(
     trace_writer=None,
     scheduler: Optional[str] = None,
     attach_bounds: bool = False,
+    ranks_per_node: int = 1,
 ) -> ExecutionTrace:
     """Simulate one factorization run under ``pattern``.
 
@@ -77,7 +78,11 @@ def run_factorization(
     ``attach_bounds=True`` computes
     :func:`~repro.cost.schedbounds.schedule_lower_bounds` and attaches
     them to the returned trace, so ``trace.optimality_ratio`` and the
-    bound entries of ``summary()`` are populated.
+    bound entries of ``summary()`` are populated.  ``ranks_per_node > 1``
+    packs the pattern's ranks onto physical machines (two-level
+    topology); unless a network is named explicitly, such runs use the
+    ``"hierarchical"`` model so same-machine traffic takes the fast
+    intra-node link.
     """
     if cluster is None:
         cluster = sim_cluster(pattern.nnodes, tile_size=tile_size)
@@ -87,6 +92,12 @@ def run_factorization(
         from dataclasses import replace
 
         cluster = replace(cluster, scheduler=scheduler)
+    if ranks_per_node > 1 and cluster.ranks_per_node != ranks_per_node:
+        from dataclasses import replace
+
+        cluster = replace(cluster, ranks_per_node=ranks_per_node)
+    if cluster.ranks_per_node > 1 and network is None:
+        network = "hierarchical"
     if kernel == "lu":
         dist = TileDistribution(pattern, n_tiles, symmetric=False)
         graph, home = build_lu_graph(dist, tile_size)

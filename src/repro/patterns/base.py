@@ -25,11 +25,14 @@ properties:
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["UNDEFINED", "Pattern", "PatternError"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.topology import Topology
+
+__all__ = ["UNDEFINED", "Pattern", "PatternError", "hier_mean"]
 
 #: Marker for an undefined (unassigned) pattern cell.  Only diagonal
 #: cells of square symmetric patterns may be undefined.
@@ -174,12 +177,12 @@ class Pattern:
     @cached_property
     def row_counts(self) -> np.ndarray:
         """x_i: number of distinct (defined) nodes on each pattern row."""
-        return np.array([_ndistinct(row) for row in self._grid])
+        return _ndistinct_rows(self._grid)
 
     @cached_property
     def col_counts(self) -> np.ndarray:
         """y_j: number of distinct (defined) nodes on each pattern column."""
-        return np.array([_ndistinct(col) for col in self._grid.T])
+        return _ndistinct_rows(self._grid.T)
 
     @cached_property
     def colrow_counts(self) -> np.ndarray:
@@ -188,12 +191,14 @@ class Pattern:
         Only meaningful for square patterns; colrow ``i`` is the union of
         row ``i`` and column ``i`` (Definition 1).
         """
+        return _ndistinct_rows(self._colrow_matrix)
+
+    @cached_property
+    def _colrow_matrix(self) -> np.ndarray:
+        """Row ``i`` holds colrow ``i``: ``[grid[i, :], grid[:, i]]``."""
         if not self.is_square:
             raise PatternError("colrow statistics require a square pattern")
-        g = self._grid
-        return np.array(
-            [_ndistinct(np.concatenate([g[i, :], g[:, i]])) for i in range(self.nrows)]
-        )
+        return np.concatenate([self._grid, self._grid.T], axis=1)
 
     @property
     def mean_row_count(self) -> float:
@@ -217,7 +222,7 @@ class Pattern:
 
         return pattern_key(self._grid, self._nnodes)
 
-    def _memoized(self, metric: str, compute) -> float:
+    def _memoized(self, metric, compute) -> float:
         """Look ``metric`` up in the process-global LRU cost cache.
 
         Equal grids built as distinct instances (search seeds, database
@@ -246,15 +251,72 @@ class Pattern:
         raise ValueError(f"unknown kernel {kernel!r}; expected 'lu' or 'cholesky'")
 
     # ------------------------------------------------------------------
+    # hierarchical (two-level) communication statistics
+    # ------------------------------------------------------------------
+    def _node_grid(self, topology: "Topology") -> np.ndarray:
+        """The grid with every rank id replaced by its node id.
+
+        Undefined cells stay :data:`UNDEFINED`; distinct counts over the
+        mapped grid are distinct *node* counts.
+        """
+        if topology.nranks < self._nnodes:
+            raise PatternError(
+                f"topology covers {topology.nranks} ranks but the pattern "
+                f"references {self._nnodes}")
+        mapped = self._grid.copy()
+        mask = mapped != UNDEFINED
+        mapped[mask] = topology.rank_nodes[mapped[mask]]
+        return mapped
+
+    def row_node_counts(self, topology: "Topology") -> np.ndarray:
+        """Distinct *nodes* per pattern row under ``topology``."""
+        return _ndistinct_rows(self._node_grid(topology))
+
+    def col_node_counts(self, topology: "Topology") -> np.ndarray:
+        """Distinct *nodes* per pattern column under ``topology``."""
+        return _ndistinct_rows(self._node_grid(topology).T)
+
+    def colrow_node_counts(self, topology: "Topology") -> np.ndarray:
+        """Distinct *nodes* per pattern colrow under ``topology``."""
+        g = self._node_grid(topology)
+        if not self.is_square:
+            raise PatternError("colrow statistics require a square pattern")
+        return _ndistinct_rows(np.concatenate([g, g.T], axis=1))
+
+    def cost_hier(self, kernel: str, topology: "Topology",
+                  inter_weight: float = 4.0) -> float:
+        """Hierarchical communication cost under a two-level topology.
+
+        Each row/column/colrow contributes a weighted distinct count:
+        every distinct *node* costs ``1`` (the message crosses the
+        inter-node fabric) and every extra distinct *rank* beyond the
+        first on a node costs ``1 / inter_weight`` (an intra-node copy,
+        ``inter_weight`` times cheaper).  With ``Topology.flat(P)`` the
+        intra term is exactly zero and the result is bit-identical to
+        :meth:`cost` for any ``inter_weight``.
+        """
+        w = float(inter_weight)
+        if w <= 0:
+            raise ValueError(f"inter_weight must be > 0, got {inter_weight}")
+        key = ("hier", kernel, topology.cache_key, w)
+        if kernel == "lu":
+            return self._memoized(key, lambda: (
+                hier_mean(self.row_counts, self.row_node_counts(topology), w)
+                + hier_mean(self.col_counts, self.col_node_counts(topology), w)
+            ))
+        if kernel == "cholesky":
+            return self._memoized(key, lambda: hier_mean(
+                self.colrow_counts, self.colrow_node_counts(topology), w))
+        raise ValueError(f"unknown kernel {kernel!r}; expected 'lu' or 'cholesky'")
+
+    # ------------------------------------------------------------------
     # colrow membership (used by symmetric distributions)
     # ------------------------------------------------------------------
     def colrow_nodes(self, i: int) -> frozenset[int]:
         """Set of defined nodes present on colrow ``i`` (square only)."""
-        if not self.is_square:
-            raise PatternError("colrow membership requires a square pattern")
-        g = self._grid
-        vals = np.concatenate([g[i, :], g[:, i]])
-        return frozenset(int(v) for v in vals if v != UNDEFINED)
+        vals = self._colrow_matrix[i]
+        vals = vals[vals != UNDEFINED]
+        return frozenset(np.unique(vals).tolist())
 
     # ------------------------------------------------------------------
     # validation / display
@@ -287,6 +349,42 @@ def _ndistinct(values: np.ndarray) -> int:
     if vals.size == 0:
         return 0
     return int(np.unique(vals).size)
+
+
+def _ndistinct_rows(rows: np.ndarray) -> np.ndarray:
+    """Distinct defined ids per row of a 2-D array, vectorized.
+
+    One ``np.sort`` over the whole array replaces a Python loop of
+    ``np.unique`` calls: after sorting each row, distinct values are
+    the positions where consecutive entries differ, and the single
+    :data:`UNDEFINED` run (which sorts first) is discounted.  Matches
+    the per-row ``_ndistinct`` result exactly, including empty and
+    all-undefined rows.
+    """
+    arr = np.asarray(rows)
+    if arr.shape[1] == 0:
+        return np.zeros(arr.shape[0], dtype=np.int64)
+    s = np.sort(arr, axis=1)
+    distinct = (s[:, 1:] != s[:, :-1]).sum(axis=1) + 1
+    distinct -= s[:, 0] == UNDEFINED
+    return distinct.astype(np.int64)
+
+
+def hier_mean(rank_counts: np.ndarray, node_counts: np.ndarray,
+              inter_weight: float) -> float:
+    """Mean weighted distinct count over rows/cols/colrows.
+
+    ``node_counts[i] + (rank_counts[i] - node_counts[i]) / inter_weight``
+    charges ``1`` per distinct node and ``1/inter_weight`` per extra
+    intra-node rank.  Shared by :meth:`Pattern.cost_hier` and the delta
+    evaluator so both reduce the *same* float64 array with
+    ``ndarray.mean`` — bit-identical results.  When
+    ``node_counts == rank_counts`` (flat topology) the intra term is
+    exactly ``0.0`` and the result equals ``float(rank_counts.mean())``
+    bit-for-bit.
+    """
+    weighted = node_counts + (rank_counts - node_counts) / inter_weight
+    return float(weighted.mean())
 
 
 def pattern_from_rows(rows: Sequence[Iterable[int]], nnodes: int | None = None,

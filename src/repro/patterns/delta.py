@@ -33,13 +33,16 @@ sequences for every P the shipped database covers.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 import numpy as np
 
-from .base import UNDEFINED, Pattern, PatternError
+from .base import UNDEFINED, Pattern, PatternError, hier_mean
 
-__all__ = ["ColrowSwap", "DeltaCostState"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.topology import Topology
+
+__all__ = ["ColrowSwap", "DeltaCostState", "HierCostState"]
 
 
 class ColrowSwap(NamedTuple):
@@ -196,3 +199,133 @@ class DeltaCostState:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"DeltaCostState(r={self.r}, P={self.P}, "
                 f"z̄={self.cost:.4f})")
+
+
+class HierCostState(DeltaCostState):
+    """Delta state that additionally tracks per-colrow distinct *nodes*.
+
+    On top of the rank-level ``counts`` / ``z`` of
+    :class:`DeltaCostState`, maintains
+
+    ``node_counts[k, g]``
+        the number of cells of colrow ``k`` owned by ranks living on
+        node ``g`` of ``topology``, and
+
+    ``zn[k] = #{g : node_counts[k, g] > 0}``
+        the distinct-node count of colrow ``k``.
+
+    A colrow swap still touches at most two colrows, and each rank maps
+    to exactly one node, so the node level costs one extra O(1) update
+    per (de)increment — the O(r) bookkeeping the hierarchical search
+    needs.  :attr:`cost_hier` reduces the two integer arrays with
+    :func:`~repro.patterns.base.hier_mean`, the same helper the full
+    re-costing path uses, so delta and full evaluation are bit-identical.
+    """
+
+    __slots__ = ("topology", "inter_weight", "node_counts", "zn", "_rank_nodes")
+
+    def __init__(self, r: int, P: int, topology: "Topology",
+                 inter_weight: float = 4.0):
+        super().__init__(r, P)
+        if topology.nranks < P:
+            raise ValueError(
+                f"topology covers {topology.nranks} ranks but the pattern "
+                f"references {P}")
+        if inter_weight <= 0:
+            raise ValueError(f"inter_weight must be > 0, got {inter_weight}")
+        self.topology = topology
+        self.inter_weight = float(inter_weight)
+        self._rank_nodes = topology.rank_nodes
+        self.node_counts = np.zeros((self.r, topology.nnodes), dtype=np.int64)
+        self.zn = np.zeros(self.r, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grid(cls, grid: np.ndarray, P: int, topology: "Topology" = None,
+                  inter_weight: float = 4.0) -> "HierCostState":
+        """Bulk-build rank and node counts from a square grid."""
+        if topology is None:
+            raise TypeError("HierCostState.from_grid requires a topology")
+        arr = np.asarray(grid, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise PatternError(
+                f"delta evaluation requires a square grid, got shape {arr.shape}")
+        state = cls(arr.shape[0], P, topology, inter_weight)
+        ii, jj = np.nonzero(arr != UNDEFINED)
+        owners = arr[ii, jj]
+        if owners.size and (owners.min() < 0 or owners.max() >= P):
+            raise PatternError(f"grid references node outside 0..{P - 1}")
+        nodes = state._rank_nodes[owners]
+        off = ii != jj
+        np.add.at(state.counts, (ii, owners), 1)
+        np.add.at(state.counts, (jj[off], owners[off]), 1)
+        np.add.at(state.node_counts, (ii, nodes), 1)
+        np.add.at(state.node_counts, (jj[off], nodes[off]), 1)
+        state.z = (state.counts > 0).sum(axis=1).astype(np.int64)
+        state.zn = (state.node_counts > 0).sum(axis=1).astype(np.int64)
+        return state
+
+    @classmethod
+    def from_pattern(cls, pattern: Pattern, topology: "Topology" = None,
+                     inter_weight: float = 4.0) -> "HierCostState":
+        if not pattern.is_square:
+            raise PatternError("delta evaluation requires a square pattern")
+        return cls.from_grid(pattern.grid, pattern.nnodes, topology,
+                             inter_weight)
+
+    # ------------------------------------------------------------------
+    # incremental updates (rank level in the parent, node level here)
+    # ------------------------------------------------------------------
+    def _incref(self, k: int, p: int) -> None:
+        super()._incref(k, p)
+        g = self._rank_nodes[p]
+        c = self.node_counts[k, g]
+        if c == 0:
+            self.zn[k] += 1
+        self.node_counts[k, g] = c + 1
+
+    def _decref(self, k: int, p: int) -> None:
+        super()._decref(k, p)
+        g = self._rank_nodes[p]
+        c = self.node_counts[k, g]
+        if c == 1:
+            self.zn[k] -= 1
+        self.node_counts[k, g] = c - 1
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    @property
+    def zn_counts(self) -> np.ndarray:
+        """Distinct-node count per colrow — equals ``colrow_node_counts``."""
+        return self.zn
+
+    @property
+    def cost_hier(self) -> float:
+        """Weighted hierarchical z̄, bit-identical to ``Pattern.cost_hier``."""
+        return hier_mean(self.z, self.zn, self.inter_weight)
+
+    def cost_hier_delta(self, swap: ColrowSwap) -> float:
+        """Hierarchical cost after ``swap``, without mutating the state."""
+        self.apply(swap)
+        try:
+            return self.cost_hier
+        finally:
+            self.revert(swap)
+
+    def verify(self, grid: np.ndarray) -> None:
+        """Cross-check both levels against a full re-count (tests/debug)."""
+        super().verify(grid)
+        ref = HierCostState.from_grid(grid, self.P, self.topology,
+                                      self.inter_weight)
+        if not np.array_equal(ref.node_counts, self.node_counts):
+            raise AssertionError("node counts diverged from full re-count")
+        if not np.array_equal(ref.zn, self.zn):
+            raise AssertionError("zn diverged from full re-count")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HierCostState(r={self.r}, P={self.P}, "
+                f"nodes={self.topology.nnodes}, "
+                f"cost={self.cost_hier:.4f})")

@@ -34,14 +34,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import maximum_bipartite_matching
 
 from .base import UNDEFINED, Pattern
-from .delta import DeltaCostState
+from .delta import ColrowSwap, DeltaCostState, HierCostState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.topology import Topology
 
 __all__ = [
     "TIE_BREAKS",
@@ -49,6 +52,7 @@ __all__ = [
     "feasible_sizes",
     "GCRMResult",
     "gcrm",
+    "gcrm_hier",
     "gcrm_search",
     "gcrm_cost_floor",
 ]
@@ -438,6 +442,164 @@ def gcrm(P: int, r: int, seed=None, tie_break: str = "usage_random",
     )
 
 
+def _affinity_relabel(grid: np.ndarray, P: int,
+                      topology: "Topology") -> np.ndarray:
+    """Deterministic rank permutation packing co-occurring ranks per node.
+
+    Two ranks that share many colrows should live on the same physical
+    node: every shared colrow then counts one distinct *node* instead of
+    two.  The affinity of ranks ``p, q`` is the number of colrows on
+    which both are present; groups are grown greedily (seed = the
+    unassigned rank with the highest affinity mass, then repeatedly the
+    rank with the highest affinity to the group, ties to the lowest id)
+    up to each node's capacity.  No RNG is involved, and a permutation
+    of rank labels preserves rank-level counts and loads exactly — only
+    the node-level counts change.
+
+    Returns ``relabel`` with ``relabel[old_rank] = new_rank``.
+    """
+    presence = DeltaCostState.from_grid(grid, P).counts > 0  # (r, P)
+    aff = presence.T.astype(np.int64) @ presence.astype(np.int64)  # (P, P)
+    np.fill_diagonal(aff, 0)
+    unassigned = list(range(P))
+    order: list[int] = []
+    node = 0
+    while unassigned:
+        capacity = len(topology.node_ranks(node))
+        mass = aff[np.ix_(unassigned, unassigned)].sum(axis=1)
+        seed_rank = unassigned[int(np.argmax(mass))]  # argmax: lowest id on ties
+        group = [seed_rank]
+        unassigned.remove(seed_rank)
+        while len(group) < capacity and unassigned:
+            gain = aff[np.ix_(unassigned, group)].sum(axis=1)
+            nxt = unassigned[int(np.argmax(gain))]
+            group.append(nxt)
+            unassigned.remove(nxt)
+        order.extend(group)
+        node += 1
+    relabel = np.empty(P, dtype=np.int64)
+    relabel[np.asarray(order)] = np.arange(P, dtype=np.int64)
+    return relabel
+
+
+def gcrm_hier(P: int, r: int, topology: "Topology", seed=None, *,
+              inter_weight: float = 4.0, tie_break: str = "usage_random",
+              delta: bool = False, max_passes: int = 4) -> GCRMResult:
+    """Hierarchy-aware GCR&M: optimize the weighted two-level objective.
+
+    Runs flat :func:`gcrm` construction on the identical RNG stream,
+    then — only when ``topology`` is genuinely hierarchical — improves
+    the *node*-level cost in two deterministic, RNG-free steps:
+
+    1. **Affinity relabeling** (:func:`_affinity_relabel`): permute rank
+       labels so ranks sharing many colrows land on the same node.
+       Rank-level cost and load balance are untouched by construction.
+    2. **Load-preserving exchange refinement**: pairs of colrow swaps —
+       cell ``(i, j)`` moves ``p → q`` while a counter-cell of ``q``
+       moves back to ``p`` — accepted on first improvement of
+       ``cost_hier`` (strict ``1e-12``), with moves restricted to ranks
+       already present on both affected colrows so the rank-level count
+       can only drop.  Per-node loads are exchanged one-for-one, so
+       ``load_imbalance`` is preserved exactly.
+
+    With ``topology.is_flat`` the flat result is returned unchanged
+    (there is no hierarchy to exploit), making hierarchical search
+    degenerate to flat GCR&M winners at a fixed seed.
+
+    ``delta=True`` scores refinement moves with the incremental
+    :class:`~repro.patterns.delta.HierCostState`; ``delta=False``
+    re-counts from the mutated grid.  Both reduce the same integer
+    count arrays through :func:`~repro.patterns.base.hier_mean`, so
+    the accepted moves — and the final pattern — are byte-identical.
+
+    The returned :attr:`GCRMResult.cost` is the hierarchical objective
+    (which equals the flat cost when the topology is flat).
+    """
+    from ..runtime.topology import Topology as _Topology
+
+    if topology is None:
+        topology = _Topology.flat(P)
+    if topology.nranks < P:
+        raise ValueError(
+            f"topology covers {topology.nranks} ranks but P={P}")
+    base = gcrm(P, r, seed=seed, tie_break=tie_break, delta=delta)
+    if topology.is_flat:
+        return base
+
+    w = float(inter_weight)
+    grid = base.pattern.grid.copy()
+    relabel = _affinity_relabel(grid, P, topology)
+    mask = grid != UNDEFINED
+    grid[mask] = relabel[grid[mask]]
+
+    state = HierCostState.from_grid(grid, P, topology, w)
+    cur = state.cost_hier if delta else HierCostState.from_grid(
+        grid, P, topology, w).cost_hier
+    for _ in range(max_passes):
+        improved = False
+        for i in range(r):
+            for j in range(r):
+                if i == j or grid[i, j] == UNDEFINED:
+                    continue
+                p = int(grid[i, j])
+                # moving (i, j) away from p can only help when p's
+                # presence on a colrow drops to zero
+                if state.counts[i, p] != 1 and state.counts[j, p] != 1:
+                    continue
+                cand = np.flatnonzero((state.counts[i] > 0)
+                                      & (state.counts[j] > 0))
+                for q in cand:
+                    q = int(q)
+                    if q == p:
+                        continue
+                    # load-preserving counter-cell: first cell of q
+                    # whose colrows already host p
+                    aa, bb = np.nonzero(grid == q)
+                    counter = None
+                    for a, b in zip(aa, bb):
+                        if (state.counts[a, p] > 0
+                                and state.counts[b, p] > 0):
+                            counter = (int(a), int(b))
+                            break
+                    if counter is None:
+                        continue
+                    a, b = counter
+                    fwd = ColrowSwap(i, j, p, q)
+                    back = ColrowSwap(a, b, q, p)
+                    state.apply(fwd)
+                    state.apply(back)
+                    grid[i, j] = q
+                    grid[a, b] = p
+                    new_cost = state.cost_hier if delta else (
+                        HierCostState.from_grid(grid, P, topology, w)
+                        .cost_hier)
+                    if new_cost < cur - 1e-12:
+                        cur = new_cost
+                        improved = True
+                        break
+                    state.revert(back)
+                    state.revert(fwd)
+                    grid[i, j] = p
+                    grid[a, b] = q
+        if not improved:
+            break
+
+    pattern = Pattern(grid, nnodes=P,
+                      name=(f"GCR&M-hier {r}x{r} (P={P}, "
+                            f"rpn={topology.ranks_per_node}, "
+                            f"seed={base.seed})"))
+    colrows = [{int(k) for k in np.flatnonzero(state.counts[:, p] > 0)}
+               for p in range(P)]
+    return GCRMResult(
+        pattern=pattern,
+        colrows=colrows,
+        cost=cur,
+        seed=base.seed,
+        phase2_leftover=base.phase2_leftover,
+        loads=np.bincount(grid[mask], minlength=P),
+    )
+
+
 def gcrm_search(
     P: int,
     sizes: Optional[Sequence[int]] = None,
@@ -451,6 +613,8 @@ def gcrm_search(
     chunk_size: Optional[int] = None,
     tie_break: str = "usage_random",
     delta: bool = False,
+    topology: Optional["Topology"] = None,
+    inter_weight: float = 4.0,
 ) -> GCRMResult:
     """Paper evaluation protocol: best pattern over sizes × seeds.
 
@@ -484,6 +648,14 @@ def gcrm_search(
         the full evaluator remains the reference path
         (``benchmarks/results/delta_eval_speedup.txt`` records the
         speedup).
+    ``topology`` / ``inter_weight``
+        When a non-flat :class:`~repro.runtime.topology.Topology` is
+        given, every task runs :func:`gcrm_hier` and the sweep ranks
+        candidates by the hierarchical objective; the pruning floor
+        drops to ``√(3·nnodes/2)`` (distinct *nodes* obey the same
+        empirical bound over the node-mapped pattern).  A flat (or
+        ``None``) topology reproduces the flat sweep exactly.
+        Bit-identical across ``jobs`` like the flat sweep.
 
     The returned result carries the engine's
     :class:`~repro.patterns.search.SearchReport` in ``result.report``.
@@ -514,6 +686,7 @@ def gcrm_search(
             index += 1
         groups.append((r, tasks))
 
+    hier = topology is not None and not topology.is_flat
     report = run_search(
         P,
         groups,
@@ -521,9 +694,11 @@ def gcrm_search(
         chunk_size=chunk_size,
         tie_break=tie_break,
         prune=prune,
-        prune_floor=gcrm_cost_floor(P),
+        prune_floor=gcrm_cost_floor(topology.nnodes if hier else P),
         prune_tol=prune_tol,
         delta=delta,
+        topology=topology if hier else None,
+        inter_weight=inter_weight,
     )
     if report.best_index is None:
         raise ValueError(
@@ -535,7 +710,13 @@ def gcrm_search(
     # task's RNG depends only on its seed material.
     winner = next(t for _, tasks in groups for t in tasks
                   if t.index == report.best_index)
-    best = gcrm(P, winner.r, seed=winner.seed, tie_break=tie_break, delta=delta)
+    if hier:
+        best = gcrm_hier(P, winner.r, topology, seed=winner.seed,
+                         inter_weight=inter_weight, tie_break=tie_break,
+                         delta=delta)
+    else:
+        best = gcrm(P, winner.r, seed=winner.seed, tie_break=tie_break,
+                    delta=delta)
     assert abs(best.cost - report.best_cost) < 1e-9, "non-deterministic gcrm task"
     best.report = report
     return best

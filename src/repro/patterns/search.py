@@ -188,20 +188,30 @@ def spawn_task_seeds(root_seed: int, n: int) -> List[np.random.SeedSequence]:
 # ---------------------------------------------------------------------------
 # GCR&M task evaluation (module-level: must be picklable for the pool)
 # ---------------------------------------------------------------------------
-def _eval_gcrm_chunk(args: Tuple[int, str, bool, List[SearchTask]]) -> List[TaskOutcome]:
+def _eval_gcrm_chunk(args: Tuple) -> List[TaskOutcome]:
     """Worker body: score one chunk of GCR&M tasks.
 
     Imports :mod:`repro.patterns.gcrm` lazily — that module imports this
     one at load time, and workers only need it at call time.  ``delta``
     selects the incremental evaluator; both evaluators return
     bit-identical costs, so the reduction below cannot tell them apart.
+    A non-``None`` ``topology`` (a frozen, picklable
+    :class:`~repro.runtime.topology.Topology`) routes tasks through the
+    hierarchy-aware :func:`~repro.patterns.gcrm.gcrm_hier`, scoring the
+    weighted two-level objective instead of the flat cost.
     """
-    P, tie_break, delta, chunk = args
-    from .gcrm import gcrm
+    P, tie_break, delta, topology, inter_weight, chunk = args
+    from .gcrm import gcrm, gcrm_hier
 
     out = []
     for task in chunk:
-        res = gcrm(P, task.r, seed=task.seed, tie_break=tie_break, delta=delta)
+        if topology is not None:
+            res = gcrm_hier(P, task.r, topology, seed=task.seed,
+                            inter_weight=inter_weight, tie_break=tie_break,
+                            delta=delta)
+        else:
+            res = gcrm(P, task.r, seed=task.seed, tie_break=tie_break,
+                       delta=delta)
         out.append(TaskOutcome(task.index, task.r, res.cost, res.uses_all_nodes))
     return out
 
@@ -220,6 +230,8 @@ def run_search(
     prune_floor: Optional[float] = None,
     prune_tol: float = 0.05,
     delta: bool = False,
+    topology=None,
+    inter_weight: float = 4.0,
 ) -> SearchReport:
     """Evaluate task ``groups`` (one per candidate size, in order).
 
@@ -229,7 +241,10 @@ def run_search(
     skipped once the best is inside that band.  Group-boundary pruning
     plus index-ordered reduction make the outcome independent of
     ``jobs`` and ``chunk_size``.  ``delta`` forwards to the task
-    evaluator (incremental vs full re-costing — identical outcomes).
+    evaluator (incremental vs full re-costing — identical outcomes);
+    ``topology``/``inter_weight`` select the hierarchical objective
+    (see :func:`_eval_gcrm_chunk`) and ship to workers inside each
+    chunk's argument tuple.
     """
     if not groups:
         raise ValueError("run_search needs at least one task group")
@@ -244,8 +259,10 @@ def run_search(
         while remaining:
             r, tasks = remaining.pop(0)
             chunks = chunk_tasks(list(tasks), executor.jobs, chunk_size)
-            for outcomes in executor.map(_eval_gcrm_chunk,
-                                         [(P, tie_break, delta, c) for c in chunks]):
+            for outcomes in executor.map(
+                    _eval_gcrm_chunk,
+                    [(P, tie_break, delta, topology, inter_weight, c)
+                     for c in chunks]):
                 report.outcomes.extend(outcomes)
             report.sizes_evaluated.append(r)
             report.n_tasks_evaluated += len(tasks)

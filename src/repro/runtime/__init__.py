@@ -23,12 +23,14 @@ from .faults import (
 from .network import (
     NETWORK_MODELS,
     ContentionModel,
+    HierarchicalModel,
     NetworkModel,
     NetworkStats,
     NicModel,
     ResilientNetwork,
     make_network,
 )
+from .topology import Topology
 from .objsim import simulate_reference
 from .schedulers import (
     SCHEDULERS,
@@ -75,11 +77,13 @@ __all__ = [
     "build_lu_graph_reference",
     "NETWORK_MODELS",
     "ContentionModel",
+    "HierarchicalModel",
     "NetworkModel",
     "NetworkStats",
     "NicModel",
     "ResilientNetwork",
     "make_network",
+    "Topology",
     "FaultEvent",
     "FaultPlan",
     "FaultStats",

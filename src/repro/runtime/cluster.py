@@ -56,6 +56,18 @@ class ClusterSpec:
         (tasks of iteration ``k+1`` wait for *all* tasks of iteration
         ``k``) — the synchronized MPI-style execution the paper's
         Section II-C contrasts with the task-based model.
+    ranks_per_node:
+        Simulated ranks packed per *physical* node (two-level topology).
+        The default ``1`` is the paper's flat model: each simulated
+        "node" is its own machine.  With ``> 1``, the ``"hierarchical"``
+        network model routes same-machine traffic over a fast intra-node
+        link (see :meth:`topology`).
+    bisection_Bps:
+        Explicit global bisection bandwidth for the contention-family
+        models.  ``None`` derives it from ``bandwidth_Bps`` and the
+        node count.  Carried on the spec (rather than only on the model
+        instance) so it survives :meth:`with_nodes` resizing and lands
+        in campaign rows.
     """
 
     nnodes: int
@@ -70,8 +82,16 @@ class ClusterSpec:
     multicast: str = "p2p"
     scheduler: str = "priority"
     fork_join: bool = False
+    ranks_per_node: int = 1
+    bisection_Bps: float | None = None
 
     def __post_init__(self):
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+        if self.bisection_Bps is not None and self.bisection_Bps <= 0:
+            raise ValueError(
+                f"bisection_Bps must be positive, got {self.bisection_Bps}")
         if self.multicast not in ("p2p", "tree"):
             raise ValueError(f"multicast must be 'p2p' or 'tree', got {self.multicast!r}")
         if self.scheduler not in SCHEDULERS:
@@ -122,6 +142,15 @@ class ClusterSpec:
     def message_time(self) -> float:
         """Wire time of one tile message."""
         return self.latency_s + self.tile_bytes / self.bandwidth_Bps
+
+    def topology(self):
+        """The two-level :class:`~repro.runtime.topology.Topology` of
+        this cluster: ``nnodes`` simulated ranks packed
+        ``ranks_per_node`` to a machine."""
+        from .topology import Topology
+
+        return Topology(nranks=self.nnodes,
+                        ranks_per_node=self.ranks_per_node)
 
     def comm_compute_ratio(self) -> float:
         """Tile wire time / tile GEMM time — the balance point that

@@ -69,6 +69,7 @@ __all__ = [
     "NetworkModel",
     "NicModel",
     "ContentionModel",
+    "HierarchicalModel",
     "ResilientNetwork",
     "NETWORK_MODELS",
     "make_network",
@@ -96,6 +97,13 @@ class NetworkStats:
     link_bytes: float = 0.0     #: total bytes that crossed the bisection link
     n_eager: int = 0            #: messages below the eager threshold
     n_rendezvous: int = 0       #: messages using the rendezvous protocol
+    bisection_Bps: float = 0.0  #: resolved bisection capacity (contention family)
+    ranks_per_node: int = 1     #: topology of the run (1 = flat)
+    intra_bytes: float = 0.0    #: bytes that stayed inside a physical node
+    inter_bytes: float = 0.0    #: bytes that crossed node boundaries
+    intra_msgs: int = 0         #: messages between ranks on the same node
+    inter_msgs: int = 0         #: messages between ranks on different nodes
+    intra_link_busy: float = 0.0  #: node-seconds any intra-node link carried ≥1 flow
 
     def busy_fractions(self, makespan: float) -> dict:
         """Link/NIC busy- and idle-time breakdown as fractions of the run."""
@@ -333,7 +341,12 @@ class ContentionModel(NetworkModel):
         cl = self.cluster
         P = cl.nnodes
         self.node_bw = float(cl.bandwidth_Bps)
-        self.link_bw = (float(self.bisection_Bps) if self.bisection_Bps
+        # explicit model argument wins, then the cluster's own
+        # bisection_Bps (which survives ClusterSpec.with_nodes
+        # resizing), then the full-bisection default
+        explicit = (self.bisection_Bps if self.bisection_Bps is not None
+                    else cl.bisection_Bps)
+        self.link_bw = (float(explicit) if explicit
                         else self.node_bw * max(1.0, P / 2.0))
         self.alpha = float(cl.latency_s)
         self._queues: List[deque] = [deque() for _ in range(P)]
@@ -443,6 +456,160 @@ class ContentionModel(NetworkModel):
         out.link_bytes = self.link_bytes
         out.n_eager = self.n_eager
         out.n_rendezvous = self.n_rendezvous
+        out.bisection_Bps = self.link_bw
+        return out
+
+
+class HierarchicalModel(ContentionModel):
+    """Two-level contention model: intra-node and inter-node links.
+
+    Extends :class:`ContentionModel` with the cluster's
+    :class:`~repro.runtime.topology.Topology`
+    (``ClusterSpec.ranks_per_node``): a flow between ranks on the same
+    physical node crosses that node's private intra-node link (NUMA /
+    NVLink class — ``intra_bandwidth_scale`` × the NIC bandwidth,
+    ``intra_latency_scale`` × the NIC latency, per-level α–β), while a
+    flow between ranks on different nodes crosses the global bisection
+    link exactly as in the parent model.  Fair sharing is per link:
+    ``n`` concurrent inter-node flows each get ``bisection / n``; ``n``
+    concurrent intra-node flows *on the same node* each get
+    ``intra_bandwidth / n``; the two levels never steal bandwidth from
+    each other.
+
+    Injection/receive serialization, eager/rendezvous protocol choice,
+    and the deterministic pump order are inherited unchanged.  With
+    ``ranks_per_node == 1`` every flow is inter-node and the model's
+    event arithmetic reduces to the parent's — traces match
+    ``"contention"`` exactly apart from the recorded model name (pinned
+    by the hierarchical test suite).
+
+    Per-level traffic (``intra_bytes``/``inter_bytes``, message counts,
+    ``intra_link_busy`` in node-seconds) is surfaced in
+    :class:`NetworkStats`.
+    """
+
+    name = "hierarchical"
+
+    def __init__(self, bisection_Bps: Optional[float] = None,
+                 eager_threshold: float = 65536.0,
+                 handshake_rtts: int = 2,
+                 intra_bandwidth_scale: float = 4.0,
+                 intra_latency_scale: float = 0.2):
+        super().__init__(bisection_Bps=bisection_Bps,
+                         eager_threshold=eager_threshold,
+                         handshake_rtts=handshake_rtts)
+        if intra_bandwidth_scale <= 0:
+            raise ValueError("intra_bandwidth_scale must be positive")
+        if intra_latency_scale < 0:
+            raise ValueError("intra_latency_scale must be >= 0")
+        self.intra_bandwidth_scale = float(intra_bandwidth_scale)
+        self.intra_latency_scale = float(intra_latency_scale)
+
+    def _bind(self) -> None:
+        super()._bind()
+        cl = self.cluster
+        self.topology = cl.topology()
+        self._rank_nodes = self.topology.rank_nodes
+        # the default bisection of a hierarchical fabric scales with the
+        # number of *machines*, not ranks
+        explicit = (self.bisection_Bps if self.bisection_Bps is not None
+                    else cl.bisection_Bps)
+        self.link_bw = (float(explicit) if explicit
+                        else self.node_bw * max(1.0, self.topology.nnodes / 2.0))
+        self.intra_link_bw = self.node_bw * self.intra_bandwidth_scale
+        self.intra_alpha = self.alpha * self.intra_latency_scale
+        self._flow_level: dict[int, Tuple[bool, int]] = {}  # fid -> (inter, node)
+        self.intra_bytes = 0.0
+        self.inter_bytes = 0.0
+        self.intra_msgs = 0
+        self.inter_msgs = 0
+        self.intra_link_busy = 0.0
+
+    # ------------------------------------------------------------------
+    def _start_flow(self, ref: DataRef, src: int, dst: int, now: float) -> None:
+        nbytes = float(self.cluster.tile_bytes)
+        src_node = int(self._rank_nodes[src])
+        inter = src_node != int(self._rank_nodes[dst])
+        alpha = self.alpha if inter else self.intra_alpha
+        eager = nbytes <= self.eager_threshold
+        lat = alpha if eager else alpha * (1 + self.handshake_rtts)
+        if eager:
+            self.n_eager += 1
+        else:
+            self.n_rendezvous += 1
+        fid = self._next_fid
+        self._next_fid += 1
+        self._tx_held[src] = True
+        self._rx_held[dst] = True
+        self._flows[fid] = _Flow(ref, src, dst, nbytes, now)
+        self._flow_level[fid] = (inter, src_node)
+        self.n_messages += 1
+        self.msgs_sent[src] += 1
+        self.bytes_sent[src] += nbytes
+        if inter:
+            self.inter_msgs += 1
+            self.inter_bytes += nbytes
+            self.link_bytes += nbytes
+        else:
+            self.intra_msgs += 1
+            self.intra_bytes += nbytes
+        self._push(now + lat, EVENT_NET_INTERNAL, ("data", fid))
+
+    def _advance(self, now: float) -> None:
+        dt = now - self._last_t
+        if dt > 0.0 and self._active:
+            inter_active = False
+            busy_nodes = set()
+            for fid in self._active:
+                flow = self._flows[fid]
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                inter, node = self._flow_level[fid]
+                if inter:
+                    inter_active = True
+                else:
+                    busy_nodes.add(node)
+            if inter_active:
+                self.link_busy += dt
+            self.intra_link_busy += dt * len(busy_nodes)
+        self._last_t = max(self._last_t, now)
+
+    def _reschedule(self, now: float) -> None:
+        if not self._active:
+            return
+        n_inter = 0
+        per_node: dict[int, int] = {}
+        for fid in self._active:
+            inter, node = self._flow_level[fid]
+            if inter:
+                n_inter += 1
+            else:
+                per_node[node] = per_node.get(node, 0) + 1
+        for fid in self._active:
+            flow = self._flows[fid]
+            inter, node = self._flow_level[fid]
+            if inter:
+                rate = min(self.node_bw, self.link_bw / n_inter)
+            else:
+                rate = self.intra_link_bw / per_node[node]
+            flow.rate = rate
+            flow.version += 1
+            self._push(now + flow.remaining / rate, EVENT_NET_INTERNAL,
+                       ("fin", fid, flow.version))
+
+    def on_internal(self, payload, now: float) -> List[Tuple[DataRef, int]]:
+        out = super().on_internal(payload, now)
+        if payload[0] != "data" and out:
+            self._flow_level.pop(payload[1], None)
+        return out
+
+    def stats(self) -> NetworkStats:
+        out = super().stats()
+        out.ranks_per_node = self.topology.ranks_per_node
+        out.intra_bytes = self.intra_bytes
+        out.inter_bytes = self.inter_bytes
+        out.intra_msgs = self.intra_msgs
+        out.inter_msgs = self.inter_msgs
+        out.intra_link_busy = self.intra_link_busy
         return out
 
 
@@ -588,7 +755,8 @@ class ResilientNetwork(NetworkModel):
 
 
 #: Registered network models, by CLI/`simulate(network=...)` name.
-NETWORK_MODELS = {"nic": NicModel, "contention": ContentionModel}
+NETWORK_MODELS = {"nic": NicModel, "contention": ContentionModel,
+                  "hierarchical": HierarchicalModel}
 
 
 def make_network(network: Union[str, NetworkModel, None]) -> NetworkModel:

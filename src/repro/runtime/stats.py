@@ -158,7 +158,7 @@ def comm_breakdown(trace: ExecutionTrace) -> Dict[str, object]:
         raise ValueError("trace has no network stats (pre-v2 trace?)")
     net = trace.net_stats
     fr = net.busy_fractions(trace.makespan)
-    return {
+    out: Dict[str, object] = {
         "model": net.model,
         "bytes_sent": net.bytes_sent.copy(),
         "bytes_recv": net.bytes_recv.copy(),
@@ -171,6 +171,22 @@ def comm_breakdown(trace: ExecutionTrace) -> Dict[str, object]:
         "n_eager": net.n_eager,
         "n_rendezvous": net.n_rendezvous,
     }
+    if net.ranks_per_node > 1:
+        # per-level split of the two-level (hierarchical) model; keys
+        # appear only for genuinely hierarchical runs so flat consumers
+        # see the exact legacy dict
+        total = net.intra_bytes + net.inter_bytes
+        span = trace.makespan if trace.makespan > 0 else 1.0
+        out["ranks_per_node"] = net.ranks_per_node
+        out["intra_bytes"] = net.intra_bytes
+        out["inter_bytes"] = net.inter_bytes
+        out["intra_msgs"] = net.intra_msgs
+        out["inter_msgs"] = net.inter_msgs
+        out["inter_byte_fraction"] = (net.inter_bytes / total
+                                      if total > 0 else 0.0)
+        out["intra_link_busy_node_s"] = net.intra_link_busy
+        out["intra_link_busy_fraction"] = net.intra_link_busy / span
+    return out
 
 
 def fault_breakdown(trace: ExecutionTrace,

@@ -191,6 +191,20 @@ def _counter_events(trace: ExecutionTrace) -> List[dict]:
             events.append({"name": "msgs_in_flight", "ph": "C",
                            "ts": t * 1e6, "pid": NETWORK_PID,
                            "args": {"msgs": in_flight}})
+        rpn = getattr(trace.cluster, "ranks_per_node", 1)
+        if rpn > 1:
+            # two-level traffic split: cumulative bytes per level,
+            # classified by the src/dst node mapping of the topology;
+            # emitted only for hierarchical runs so flat Chrome traces
+            # are unchanged
+            cum_level = {"bytes_inter_total": 0.0, "bytes_intra_total": 0.0}
+            for m in sorted(trace.msg_records, key=lambda m: (m.start, m.src)):
+                level = ("bytes_inter_total" if m.src // rpn != m.dst // rpn
+                         else "bytes_intra_total")
+                cum_level[level] += m.nbytes
+                events.append({"name": level, "ph": "C",
+                               "ts": m.start * 1e6, "pid": NETWORK_PID,
+                               "args": {"bytes": cum_level[level]}})
         events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
                        "args": {"name": f"network ({trace.network})"}})
     return events

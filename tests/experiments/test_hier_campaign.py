@@ -1,0 +1,91 @@
+"""Topology axis of the campaign runner + hierarchical harness plumbing."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignCell,
+    format_campaign,
+    plan_campaign,
+    run_campaign,
+)
+from repro.experiments.harness import run_factorization
+from repro.patterns.g2dbc import g2dbc
+
+TILE = 8  # small tiles keep the simulated graphs cheap
+
+
+class TestPlannerTopologyAxis:
+    def test_topologies_expand(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              networks=["hierarchical"], topologies=[1, 2, 4])
+        assert len(cells) == 3
+        assert {c.ranks_per_node for c in cells} == {1, 2, 4}
+
+    def test_default_is_flat(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6])
+        assert all(c.ranks_per_node == 1 for c in cells)
+
+    def test_invalid_topology_raises(self):
+        with pytest.raises(ValueError, match="ranks_per_node"):
+            plan_campaign(["g2dbc"], Ps=[5], ms=[6], topologies=[0])
+
+    def test_signature_distinguishes_topology(self):
+        a = CampaignCell("g2dbc", "lu", 5, 6, ranks_per_node=1)
+        b = CampaignCell("g2dbc", "lu", 5, 6, ranks_per_node=2)
+        assert a.signature() != b.signature()
+
+
+class TestRunnerTopologyColumns:
+    def rows(self, jobs=1):
+        cells = plan_campaign(["g2dbc"], Ps=[7], ms=[8],
+                              networks=["hierarchical"], topologies=[1, 2])
+        return run_campaign(cells, jobs=jobs, tile_size=TILE)
+
+    def test_rows_carry_topology_columns(self):
+        flat, hier = self.rows()
+        assert flat.ranks_per_node == 1
+        assert hier.ranks_per_node == 2
+        # rpn=1 under the hierarchical model: everything is inter-node
+        assert flat.inter_byte_fraction == 1.0
+        assert flat.intra_bytes == 0.0
+        assert 0.0 < hier.inter_byte_fraction < 1.0
+        assert hier.intra_bytes > 0.0
+        assert hier.bisection_Bps > 0.0
+
+    def test_packing_reduces_inter_bytes(self):
+        flat, hier = self.rows()
+        assert hier.inter_bytes < flat.inter_bytes
+        # the message count is a property of the task graph alone
+        assert hier.simulated_messages == flat.simulated_messages
+
+    def test_jobs_independent(self):
+        serial = self.rows(jobs=1)
+        parallel = self.rows(jobs=2)
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+    def test_format_grows_hier_block_only_when_needed(self):
+        flat, hier = self.rows()
+        assert "rpn" in format_campaign([flat, hier])
+        assert "inter%" in format_campaign([flat, hier])
+        flat_only = plan_campaign(["g2dbc"], Ps=[5], ms=[6])
+        flat_rows = run_campaign(flat_only, jobs=1, tile_size=TILE)
+        assert "rpn" not in format_campaign(flat_rows)
+
+
+class TestHarnessTopology:
+    def test_ranks_per_node_reaches_cluster(self):
+        trace = run_factorization(g2dbc(5), 8, "lu", tile_size=TILE,
+                                  ranks_per_node=2)
+        assert trace.cluster.ranks_per_node == 2
+        # unnamed network upgrades to the hierarchical model
+        assert trace.network == "hierarchical"
+
+    def test_explicit_network_wins(self):
+        trace = run_factorization(g2dbc(5), 8, "lu", tile_size=TILE,
+                                  network="nic", ranks_per_node=2)
+        assert trace.network == "nic"
+
+    def test_flat_default_unchanged(self):
+        trace = run_factorization(g2dbc(5), 8, "lu", tile_size=TILE)
+        assert trace.cluster.ranks_per_node == 1
+        assert trace.network == "nic"

@@ -1,0 +1,171 @@
+"""Topology-aware cost layer: node counts, ``cost_hier``, vectorization.
+
+Three independent guarantees:
+
+* **Oracle layer** — the vectorized per-row distinct counts and the
+  node-level counts match a brute-force pure-Python recount on random
+  grids (including UNDEFINED diagonals).
+* **Degeneracy property (Hypothesis)** — ``cost_hier`` under
+  ``Topology.flat(P)`` equals the flat ``cost`` *bit for bit*, for any
+  inter_weight: the ``(ranks − nodes)/w`` term is exactly zero on a
+  flat topology, so no float drift is tolerated.
+* **Monotonicity / caching** — packing ranks can only reduce the
+  distinct-node counts, and the memoized ``cost_hier`` is keyed by
+  topology and weight (no cross-contamination).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.metrics import (
+    inter_node_volume,
+    intra_node_volume,
+    q_cholesky,
+    q_lu,
+)
+from repro.patterns.base import UNDEFINED, Pattern, _ndistinct_rows, hier_mean
+from repro.runtime.topology import Topology
+
+
+def random_pattern(P, r, seed, diag_undef=False):
+    rng = np.random.default_rng(seed)
+    grid = rng.integers(0, P, size=(r, r)).astype(np.int64)
+    if diag_undef:
+        np.fill_diagonal(grid, UNDEFINED)
+    return Pattern(grid, nnodes=P)
+
+
+class TestVectorizedCounts:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_ndistinct_rows_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        r = int(rng.integers(1, 12))
+        c = int(rng.integers(1, 12))
+        rows = rng.integers(-1, 9, size=(r, c)).astype(np.int64)
+        got = _ndistinct_rows(rows)
+        want = [len({v for v in row if v != UNDEFINED}) for row in rows.tolist()]
+        assert got.tolist() == want
+        assert got.dtype == np.int64
+
+    def test_all_undefined_row(self):
+        rows = np.full((2, 3), UNDEFINED, dtype=np.int64)
+        assert _ndistinct_rows(rows).tolist() == [0, 0]
+
+    def test_zero_columns(self):
+        rows = np.empty((3, 0), dtype=np.int64)
+        assert _ndistinct_rows(rows).tolist() == [0, 0, 0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pattern_counts_match_colrow_nodes(self, seed):
+        pat = random_pattern(7, 6, seed, diag_undef=(seed % 2 == 0))
+        for i in range(pat.nrows):
+            assert pat.colrow_counts[i] == len(pat.colrow_nodes(i))
+
+
+class TestNodeCounts:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_brute_force_node_counts(self, seed):
+        P, r = 11, 5
+        pat = random_pattern(P, r, seed)
+        topo = Topology(nranks=P, ranks_per_node=3)
+        grid = pat.grid
+        for i in range(r):
+            vals = [v for v in grid[i] if v != UNDEFINED]
+            want = len({v // 3 for v in vals})
+            assert pat.row_node_counts(topo)[i] == want
+            cr = [v for v in list(grid[i]) + list(grid[:, i]) if v != UNDEFINED]
+            assert pat.colrow_node_counts(topo)[i] == len({v // 3 for v in cr})
+
+    def test_node_counts_bounded_by_rank_counts(self):
+        pat = random_pattern(13, 6, 3)
+        topo = Topology(nranks=13, ranks_per_node=4)
+        assert np.all(pat.row_node_counts(topo) <= pat.row_counts)
+        assert np.all(pat.col_node_counts(topo) <= pat.col_counts)
+        assert np.all(pat.colrow_node_counts(topo) <= pat.colrow_counts)
+        assert np.all(pat.colrow_node_counts(topo) >= 1)
+
+    def test_flat_node_counts_equal_rank_counts(self):
+        pat = random_pattern(9, 5, 1)
+        topo = Topology.flat(9)
+        assert pat.row_node_counts(topo).tolist() == pat.row_counts.tolist()
+        assert (pat.colrow_node_counts(topo).tolist()
+                == pat.colrow_counts.tolist())
+
+
+class TestCostHier:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        P=st.integers(min_value=2, max_value=30),
+        r=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        w=st.floats(min_value=1.0, max_value=64.0,
+                    allow_nan=False, allow_infinity=False),
+        kernel=st.sampled_from(["lu", "cholesky"]),
+    )
+    def test_flat_topology_is_bit_identical_to_flat_cost(
+            self, P, r, seed, w, kernel):
+        pat = random_pattern(P, r, seed)
+        got = pat.cost_hier(kernel, Topology.flat(P), inter_weight=w)
+        assert got.hex() == pat.cost(kernel).hex()
+
+    def test_packing_reduces_cost(self):
+        pat = random_pattern(12, 6, 7)
+        flat = pat.cost_hier("cholesky", Topology.flat(12))
+        packed = pat.cost_hier(
+            "cholesky", Topology(nranks=12, ranks_per_node=4))
+        assert packed <= flat
+
+    def test_higher_weight_discounts_intra_more(self):
+        pat = random_pattern(12, 6, 7)
+        topo = Topology(nranks=12, ranks_per_node=4)
+        w2 = pat.cost_hier("cholesky", topo, inter_weight=2.0)
+        w8 = pat.cost_hier("cholesky", topo, inter_weight=8.0)
+        assert w8 <= w2
+
+    def test_memo_keyed_by_topology_and_weight(self):
+        pat = random_pattern(12, 6, 7)
+        t2 = Topology(nranks=12, ranks_per_node=2)
+        t4 = Topology(nranks=12, ranks_per_node=4)
+        a = pat.cost_hier("cholesky", t2, inter_weight=4.0)
+        b = pat.cost_hier("cholesky", t4, inter_weight=4.0)
+        c = pat.cost_hier("cholesky", t2, inter_weight=8.0)
+        # re-query: memo hits must return the original values
+        assert pat.cost_hier("cholesky", t2, inter_weight=4.0) == a
+        assert pat.cost_hier("cholesky", t4, inter_weight=4.0) == b
+        assert pat.cost_hier("cholesky", t2, inter_weight=8.0) == c
+        assert not (a == b == c)
+
+    def test_hier_mean_flat_weight_one(self):
+        rank = np.array([3, 4, 5], dtype=np.int64)
+        # inter_weight=1 makes intra and inter hops equal: plain mean
+        assert hier_mean(rank, rank, 1.0) == rank.mean()
+        node = np.array([2, 2, 3], dtype=np.int64)
+        assert hier_mean(rank, node, 1.0) == rank.mean()
+
+
+class TestVolumes:
+    def test_flat_inter_volume_equals_total(self):
+        pat = random_pattern(10, 5, 2)
+        topo = Topology.flat(10)
+        m = 16
+        assert inter_node_volume(pat, m, "lu", topo) == q_lu(pat, m)
+        assert (inter_node_volume(pat, m, "cholesky", topo)
+                == q_cholesky(pat, m))
+
+    def test_split_sums_to_total(self):
+        pat = random_pattern(10, 5, 2)
+        topo = Topology(nranks=10, ranks_per_node=3)
+        m = 16
+        for kernel, total in (("lu", q_lu(pat, m)),
+                              ("cholesky", q_cholesky(pat, m))):
+            inter = inter_node_volume(pat, m, kernel, topo)
+            intra = intra_node_volume(pat, m, kernel, topo)
+            assert inter + intra == pytest.approx(total)
+            assert intra >= -1e-9
+
+    def test_unknown_kernel(self):
+        pat = random_pattern(10, 5, 2)
+        with pytest.raises(ValueError):
+            inter_node_volume(pat, 8, "qr", Topology.flat(10))

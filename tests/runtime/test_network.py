@@ -32,7 +32,7 @@ def lu_trace(P=5, m=8, network=None, **cl_kw):
 
 class TestRegistry:
     def test_known_models(self):
-        assert set(NETWORK_MODELS) == {"nic", "contention"}
+        assert set(NETWORK_MODELS) == {"nic", "contention", "hierarchical"}
 
     def test_make_network_default(self):
         assert isinstance(make_network(None), NicModel)

@@ -31,6 +31,39 @@ class TestParser:
             assert build_parser().parse_args(cmd + ["-j", "0"]).jobs == 0
 
 
+class TestGcrmCommand:
+    def test_flat_vs_hier_table(self, capsys):
+        assert main(["gcrm", "-P", "11", "--topology", "2",
+                     "--tiles", "16", "--seeds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "flat" in out and "hier" in out
+        assert "inter vol" in out
+        assert "2 ranks/node" in out
+
+    def test_show_prints_both_grids(self, capsys):
+        assert main(["gcrm", "-P", "11", "--topology", "2",
+                     "--seeds", "4", "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "flat winner" in out
+        assert "hierarchy-aware winner" in out
+
+
+class TestSimulateTopology:
+    def test_topology_prints_hier_block(self, capsys):
+        assert main(["simulate", "-P", "7", "--tiles", "10",
+                     "--tile-size", "8", "--seeds", "4",
+                     "--topology", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 ranks/node" in out
+        assert "inter/intra bytes" in out
+
+    def test_flat_has_no_hier_block(self, capsys):
+        assert main(["simulate", "-P", "7", "--tiles", "10",
+                     "--tile-size", "8", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ranks/node" not in out
+
+
 class TestPatternCommand:
     def test_lu_pattern(self, capsys):
         assert main(["pattern", "-P", "23", "--kernel", "lu"]) == 0
