@@ -1,0 +1,87 @@
+"""Extension (elastic resize): COSTA relabeling savings and break-even.
+
+The paper's thesis — good patterns exist for *any* P — makes elastic
+resizing attractive: when the allocation changes from P to P′ mid-run,
+the best move is to the good P′ pattern.  This benchmark records what
+that move costs on the simulated cluster: tiles moved under the
+COSTA-style minimal relabeling vs the naive identity relabeling, the
+simulated migration makespan, and the break-even horizon (the fraction
+of a full run that must still be ahead for the resize to pay off), for
+the paper's own scales (P = 23 → 31 grow, P = 35 → 23 shrink) under
+both the ``nic`` and ``contention`` network models.
+"""
+
+import pytest
+
+from repro.distribution import TileDistribution
+from repro.dla.cholesky import build_cholesky_graph
+from repro.dla.lu import build_lu_graph
+from repro.experiments.figures import FigureResult
+from repro.experiments.machine import sim_cluster
+from repro.patterns.library import shipped_pattern
+from repro.patterns.migrate import plan_migration
+from repro.runtime.resize import ResizeEvent, simulate_with_resize
+
+M_TILES = 24      #: matrix size in tiles
+TILE = 200        #: tile size (small keeps the replay cheap)
+PAIRS = ((23, 31), (35, 23))
+KERNELS = ("lu", "cholesky")
+NETWORKS = ("nic", "contention")
+
+
+def _run_one(P, Q, kernel, network):
+    src = shipped_pattern(P, kernel)
+    tgt = shipped_pattern(Q, kernel)
+    symmetric = kernel == "cholesky"
+    dist = TileDistribution(src, M_TILES, symmetric=symmetric)
+    if kernel == "lu":
+        graph, home = build_lu_graph(dist, TILE)
+    else:
+        graph, home = build_cholesky_graph(dist, TILE)
+    cluster = sim_cluster(P, tile_size=TILE)
+    plan = plan_migration(src, tgt, M_TILES, symmetric=symmetric,
+                          cluster=cluster)
+    # resize a third of the way into the unresized run
+    t = simulate_with_resize(graph, cluster, None, data_home=home,
+                             network=network).makespan / 3.0
+    trace = simulate_with_resize(
+        graph, cluster, ResizeEvent(time=t, nnodes=Q, target=tgt),
+        data_home=home, network=network)
+    rs = trace.resize_stats
+    return {
+        "pair": f"{P}→{Q}",
+        "kernel": kernel,
+        "network": network,
+        "tiles_total": rs.tiles_total,
+        "moved_costa": rs.tiles_moved,
+        "moved_identity": rs.tiles_moved_identity,
+        "saved_%": 100.0 * rs.tiles_saved / max(1, rs.tiles_moved_identity),
+        "migration_s": rs.migration_s,
+        "predicted_s": plan.predicted_s[network],
+        "makespan_P_s": rs.makespan_source_s,
+        "makespan_Q_s": rs.makespan_target_s,
+        "breakeven": rs.breakeven,
+    }
+
+
+@pytest.mark.benchmark(group="ext-resize")
+def test_resize_breakeven(benchmark, save_result):
+    def run():
+        rows = [_run_one(P, Q, kernel, network)
+                for P, Q in PAIRS
+                for kernel in KERNELS
+                for network in NETWORKS]
+        return FigureResult(
+            "Extension",
+            "elastic resize: COSTA relabeling savings and break-even "
+            f"horizon (m={M_TILES}, tile={TILE})",
+            rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result, "resize_breakeven")
+
+    for row in result.rows:
+        # the relabeling is exact, so it can never lose to identity
+        assert row["moved_costa"] <= row["moved_identity"]
+        assert 0 < row["moved_costa"] <= row["tiles_total"]
+        assert row["migration_s"] > 0

@@ -125,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault plan, e.g. 'fail:2@0.05,loss:0.01,seed:7' "
                         "(fail:N@T, slow:N@T0-T1xF, degrade:T0-T1xF, loss:P, "
                         "seed:N); runs a fault-free baseline for comparison")
+    p.add_argument("--resize", metavar="P@T", default="",
+                   help="elastic resize to P' nodes at time T, e.g. '31@0.05': "
+                        "drain in-flight work, migrate tiles under the "
+                        "COSTA-style minimal relabeling, finish on the P' "
+                        "pattern (cannot combine with --faults)")
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="stream a Chrome-tracing JSON timeline to FILE "
                         "(chrome://tracing / Perfetto); memory stays bounded "
@@ -150,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", nargs="+", default=[""], metavar="SPEC",
                    help="fault-plan axis; each SPEC adds a degraded variant "
                         "of every cell ('' = fault-free)")
+    p.add_argument("--resize", nargs="+", default=[""], metavar="P@T",
+                   help="elastic-resize axis; each 'P@T' spec adds a resized "
+                        "variant of every cell ('' = no resize); cells "
+                        "combining faults and resize are dropped")
     p.add_argument("--scheduler", nargs="+", default=["priority"],
                    choices=registered_schedulers(), metavar="POLICY",
                    help="scheduler-policy axis; every row carries its "
@@ -347,8 +356,11 @@ def cmd_gcrm(args) -> int:
 
 def cmd_simulate(args) -> int:
     from .experiments.harness import run_factorization
-    from .runtime.stats import comm_breakdown, fault_breakdown
+    from .runtime.stats import (comm_breakdown, fault_breakdown,
+                                migration_breakdown)
 
+    if args.faults and args.resize:
+        raise SystemExit("--resize cannot be combined with --faults")
     pat = _get_pattern(args)
     writer = None
     if args.trace_out:
@@ -366,7 +378,8 @@ def cmd_simulate(args) -> int:
                                   network=net, trace_writer=writer,
                                   scheduler=args.scheduler,
                                   attach_bounds=True,
-                                  ranks_per_node=args.topology)
+                                  ranks_per_node=args.topology,
+                                  resize=args.resize or None)
     finally:
         if writer is not None:
             writer.close()
@@ -396,6 +409,10 @@ def cmd_simulate(args) -> int:
     if writer is not None:
         print(f"{'trace_out':<20}: {args.trace_out} "
               f"({writer.events_written} events, {writer.flushes} flushes)")
+    if trace.resize_stats is not None:
+        print(f"\n--- migration ({args.resize}) ---")
+        for key, val in migration_breakdown(trace).items():
+            print(f"{key:<22}: {val}")
     if faulted is not None:
         print(f"\n--- degraded run ({args.faults}) ---")
         fb = fault_breakdown(faulted, baseline=trace)
@@ -418,7 +435,7 @@ def cmd_campaign(args) -> int:
         args.families, Ps=args.nodes, ms=args.tiles, networks=args.networks,
         kernels=[args.kernel] if args.kernel else None,
         faults=args.faults, schedulers=args.scheduler,
-        topologies=args.topology)
+        topologies=args.topology, resizes=args.resize)
     if not cells:
         print("no feasible cells in the requested grid")
         return 1

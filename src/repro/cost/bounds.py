@@ -28,6 +28,7 @@ __all__ = [
     "cholesky_io_lower_bound",
     "cholesky_io_lower_bound_symmetric",
     "parallel_per_node_bound",
+    "migration_lower_bound",
 ]
 
 
@@ -100,3 +101,22 @@ def parallel_per_node_bound(m: int, P: int, kernel: str = "gemm") -> float:
     if kernel == "cholesky":
         return cholesky_io_lower_bound_symmetric(m, M) / P
     raise ValueError(f"unknown kernel {kernel!r}")
+
+
+def migration_lower_bound(out_bytes, in_bytes, bandwidth_Bps: float) -> float:
+    """Lower bound on redistribution time: the busiest endpoint.
+
+    Every node must at least push its outgoing bytes through its own
+    NIC and pull its incoming bytes through it, so no schedule beats
+    ``max(max_p out_bytes[p], max_p in_bytes[p]) / bandwidth`` — the
+    COSTA-style per-process volume bound for a migration plan
+    (:class:`~repro.patterns.migrate.MigrationPlan` exposes the
+    per-node byte vectors this consumes).
+    """
+    if bandwidth_Bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_Bps}")
+    worst = max(
+        max(out_bytes, default=0),
+        max(in_bytes, default=0),
+    )
+    return float(worst) / float(bandwidth_Bps)

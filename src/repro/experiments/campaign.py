@@ -47,6 +47,7 @@ from ..patterns.sts import sts_node_counts
 from ..runtime.analysis import makespan_bounds
 from ..runtime.faults import colrow_recovery, parse_faults
 from ..runtime.network import NETWORK_MODELS
+from ..runtime.resize import parse_resize
 from ..runtime.schedulers import registered_schedulers
 from ..runtime.shmgraph import attach_graph, publish_graph, unpublish
 from ..runtime.simulator import simulate
@@ -87,12 +88,13 @@ class CampaignCell:
     faults: str = ""                 #: fault spec (``parse_faults`` grammar)
     scheduler: str = "priority"      #: registered scheduling policy
     ranks_per_node: int = 1          #: two-level topology (1 = flat)
+    resize: str = ""                 #: elastic-resize spec (``"P@t"``)
 
     def signature(self) -> tuple:
         """Hashable memoization key (includes every field)."""
         return (self.family, self.kernel, self.P, self.m,
                 self.network, self.bandwidth_scale, self.faults,
-                self.scheduler, self.ranks_per_node)
+                self.scheduler, self.ranks_per_node, self.resize)
 
 
 @dataclass
@@ -134,6 +136,12 @@ class CampaignRow:
     inter_bytes: float = 0.0          #: bytes crossing machine boundaries
     intra_bytes: float = 0.0          #: bytes staying inside a machine
     inter_byte_fraction: float = 0.0  #: inter / (inter + intra)
+    # elastic-resize columns (defaults = unresized cell)
+    resize: str = ""                  #: the cell's resize spec ("P@t")
+    tiles_moved: int = 0              #: tiles migrated (COSTA relabeling)
+    tiles_saved: int = 0              #: moves avoided vs identity relabeling
+    migration_s: float = 0.0          #: migration-phase makespan
+    breakeven: float = 0.0            #: remaining-work fraction to pay off
 
     @property
     def makespan_ratio(self) -> float:
@@ -163,6 +171,7 @@ def plan_campaign(
     faults: Sequence[str] = ("",),
     schedulers: Sequence[str] = ("priority",),
     topologies: Sequence[int] = (1,),
+    resizes: Sequence[str] = ("",),
 ) -> List[CampaignCell]:
     """Expand a grid into feasible :class:`CampaignCell` specs.
 
@@ -176,6 +185,11 @@ def plan_campaign(
     registry); every row carries the policy's ``optimality_ratio``.
     ``topologies`` is the ranks-per-node axis (``1`` = the paper's flat
     model); hierarchical cells carry per-level traffic columns.
+    ``resizes`` is the elastic-resize axis of
+    :func:`~repro.runtime.resize.parse_resize` ``"P@t"`` specs (``""``
+    = no resize); resized cells carry migration columns.  Faults and
+    resize cannot share a cell, so grid points combining both specs are
+    dropped.
     """
     for net in networks:
         if net not in NETWORK_MODELS:
@@ -188,6 +202,8 @@ def plan_campaign(
                 f"{', '.join(registered_schedulers())}")
     for spec in faults:
         parse_faults(spec)  # validate the grammar before fanning out
+    for spec in resizes:
+        parse_resize(spec)  # likewise
     for rpn in topologies:
         if rpn < 1:
             raise ValueError(f"ranks_per_node must be >= 1, got {rpn}")
@@ -208,12 +224,16 @@ def plan_campaign(
                             for spec in faults:
                                 for pol in schedulers:
                                     for rpn in topologies:
-                                        cells.append(CampaignCell(
-                                            family=family, kernel=kernel,
-                                            P=P, m=m, network=net,
-                                            bandwidth_scale=bw,
-                                            faults=spec, scheduler=pol,
-                                            ranks_per_node=rpn))
+                                        for rsz in resizes:
+                                            if spec and rsz:
+                                                continue  # mutually exclusive
+                                            cells.append(CampaignCell(
+                                                family=family, kernel=kernel,
+                                                P=P, m=m, network=net,
+                                                bandwidth_scale=bw,
+                                                faults=spec, scheduler=pol,
+                                                ranks_per_node=rpn,
+                                                resize=rsz))
     return cells
 
 
@@ -303,6 +323,7 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
                                          network=cell.network)
     baseline = simulate(graph, cluster, data_home=home, network=cell.network)
     plan = parse_faults(cell.faults)
+    rs = None
     if plan:
         # the degraded run: same graph under the cell's fault plan, with
         # colrow re-homing; the fault-free run above becomes the
@@ -310,6 +331,14 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
         trace = simulate(graph, cluster, data_home=home, network=cell.network,
                          faults=plan, recovery=colrow_recovery(pattern))
         fs = trace.fault_stats
+    elif cell.resize:
+        # the elastic run: same graph with a planned mid-run resize; the
+        # unresized run above stays the comparison row (an identity
+        # resize attaches no stats, so its columns keep their defaults)
+        trace = simulate(graph, cluster, data_home=home, network=cell.network,
+                         resize=cell.resize)
+        fs = None
+        rs = trace.resize_stats
     else:
         trace = baseline
         fs = None
@@ -349,6 +378,11 @@ def _eval_cell(cell: CampaignCell, tile_size: int,
             float(net.inter_bytes / (net.inter_bytes + net.intra_bytes))
             if net is not None and net.inter_bytes + net.intra_bytes > 0
             else 0.0),
+        resize=cell.resize,
+        tiles_moved=rs.tiles_moved if rs is not None else 0,
+        tiles_saved=rs.tiles_saved if rs is not None else 0,
+        migration_s=float(rs.migration_s) if rs is not None else 0.0,
+        breakeven=float(rs.breakeven) if rs is not None else 0.0,
     )
 
 
@@ -452,11 +486,15 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
     When any row carries a fault spec, the table grows a degraded-run
     block: the fault-free makespan, the makespan inflation, and the
     recovery/retry counts — the predicted-vs-degraded comparison.
+    When any row carries a resize spec, it grows a migration block:
+    tiles moved (and saved vs identity relabeling), the migration-phase
+    makespan, and the break-even horizon.
     """
     rows = list(rows)
     faulted = any(r.faults for r in rows)
     policies = any(r.scheduler != "priority" for r in rows)
     hier = any(r.ranks_per_node > 1 for r in rows)
+    resized = any(r.resize for r in rows)
     header = (
         f"{'family':<14} {'kernel':<9} {'net':<11} {'P':>4} {'m':>4} "
         f"{'T(G)':>7} {'msg pred':>9} {'msg sim':>9} {'bound s':>10} "
@@ -470,6 +508,9 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
     if faulted:
         header += (f" {'faults':<24} {'ff s':>10} {'infl':>6} "
                    f"{'rec':>5} {'lost':>5} {'retry':>5}")
+    if resized:
+        header += (f" {'resize':<10} {'moved':>6} {'saved':>6} "
+                   f"{'mig s':>10} {'brkeven':>8}")
     lines = [header, "-" * len(header)]
     for r in rows:
         line = (
@@ -489,5 +530,9 @@ def format_campaign(rows: Iterable[CampaignRow]) -> str:
             line += (f" {(r.faults or '-'):<24} {r.faultfree_makespan_s:>10.4g} "
                      f"{r.makespan_inflation:>6.3f} {r.recovery_messages:>5} "
                      f"{r.msgs_lost:>5} {r.retries:>5}")
+        if resized:
+            line += (f" {(r.resize or '-'):<10} {r.tiles_moved:>6} "
+                     f"{r.tiles_saved:>6} {r.migration_s:>10.4g} "
+                     f"{r.breakeven:>8.3g}")
         lines.append(line)
     return "\n".join(lines)

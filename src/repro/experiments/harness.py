@@ -64,6 +64,7 @@ def run_factorization(
     scheduler: Optional[str] = None,
     attach_bounds: bool = False,
     ranks_per_node: int = 1,
+    resize=None,
 ) -> ExecutionTrace:
     """Simulate one factorization run under ``pattern``.
 
@@ -82,7 +83,9 @@ def run_factorization(
     packs the pattern's ranks onto physical machines (two-level
     topology); unless a network is named explicitly, such runs use the
     ``"hierarchical"`` model so same-machine traffic takes the fast
-    intra-node link.
+    intra-node link.  ``resize`` is a
+    :class:`~repro.runtime.resize.ResizeEvent` or ``"P@t"`` spec for a
+    planned elastic resize mid-run (cannot combine with ``faults``).
     """
     if cluster is None:
         cluster = sim_cluster(pattern.nnodes, tile_size=tile_size)
@@ -114,7 +117,7 @@ def run_factorization(
     trace = simulate(graph, cluster, data_home=home,
                      network=network, record_tasks=record_tasks,
                      faults=faults, recovery=recovery,
-                     trace_writer=trace_writer)
+                     trace_writer=trace_writer, resize=resize)
     if attach_bounds:
         from ..cost.schedbounds import schedule_lower_bounds
 

@@ -48,11 +48,17 @@ def plot_cost_figure(result: FigureResult, x: str, ys: Sequence[str]) -> str:
 
 def _speed(scale: str):
     """Map a report scale to (tile counts, seeds, search factor)."""
-    return {
+    scales = {
         "smoke": ((16, 24), range(5), 2.5),
         "default": ((32, 48), range(10), 3.0),
         "full": ((32, 48, 64), range(25), 4.0),
-    }[scale]
+    }
+    try:
+        return scales[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(scales)}"
+        ) from None
 
 
 #: experiment ids in paper order
@@ -71,6 +77,11 @@ def generate_report(
     sizes, seeds, factor = _speed(scale)
     seeds = list(seeds)
     wanted = set(only) if only else set(EXPERIMENTS)
+    unknown = wanted - set(EXPERIMENTS)
+    if unknown:
+        raise ValueError(
+            f"unknown experiment ids {sorted(unknown)}; "
+            f"choose from {list(EXPERIMENTS)}")
     parts: List[str] = [
         "# Reproduction report",
         "",

@@ -199,13 +199,26 @@ def load_shipped_database(kernel: str = "cholesky") -> Dict[int, Pattern]:
     return _SHIPPED_CACHE[kernel]
 
 
-def shipped_pattern(P: int, kernel: str = "cholesky") -> Pattern:
-    """One pattern from the shipped database (P must be in 2..44)."""
+def shipped_pattern(P: int, kernel: str = "cholesky", store=None,
+                    strict: bool = False, **kw) -> Pattern:
+    """One very efficient pattern for ``P`` nodes.
+
+    Served from the shipped database when ``P`` is in its 2..44 range.
+    Outside that range the call falls through to the pattern-service
+    read-through path — the sharded :class:`~repro.patterns.store
+    .PatternStore` (when ``store`` is given) or a live
+    :func:`best_pattern` search — so callers that only know a node
+    count (e.g. elastic-resize targets with P′ > 44) always resolve.
+    ``strict=True`` restores the historical hard failure outside the
+    shipped range; extra keywords go to :func:`best_pattern`.
+    """
     db = load_shipped_database(kernel)
     try:
         return db[P]
     except KeyError:
-        raise ValueError(
-            f"shipped database covers P in [2, 44], got {P}; "
-            f"use best_pattern() to compute one"
-        ) from None
+        if strict:
+            raise ValueError(
+                f"shipped database covers P in [2, 44], got {P}; "
+                f"use best_pattern() to compute one"
+            ) from None
+    return best_pattern(P, kernel=kernel, store=store, **kw)

@@ -66,8 +66,10 @@ class ClusterSpec:
         Explicit global bisection bandwidth for the contention-family
         models.  ``None`` derives it from ``bandwidth_Bps`` and the
         node count.  Carried on the spec (rather than only on the model
-        instance) so it survives :meth:`with_nodes` resizing and lands
-        in campaign rows.
+        instance) so it lands in campaign rows and follows
+        :meth:`with_nodes` resizing, where it is rescaled
+        proportionally to the node count (``keep_bisection=True``
+        keeps it pinned).
     """
 
     nnodes: int
@@ -159,7 +161,8 @@ class ClusterSpec:
         gemm_time = 2.0 * b**3 / self.core_flops
         return self.message_time() / gemm_time
 
-    def with_nodes(self, nnodes: int) -> "ClusterSpec":
+    def with_nodes(self, nnodes: int,
+                   keep_bisection: bool = False) -> "ClusterSpec":
         """Resize the cluster, preserving the machine mix.
 
         With ``node_speeds`` set, the speeds tuple is resized too
@@ -168,17 +171,28 @@ class ClusterSpec:
         ``nnodes`` speeds, growing cycles through the existing profile
         (``speeds[i % len]``) — the same heterogeneity mix extended to
         more nodes.
+
+        A pinned ``bisection_Bps`` is rescaled proportionally to the
+        node count: bisection capacity grows with the machine, and a
+        value pinned for ``P`` nodes silently mis-models the resized
+        cluster.  Pass ``keep_bisection=True`` to carry the pinned
+        value unchanged (e.g. when modeling a fixed core switch that
+        the new nodes must share).
         """
         if nnodes <= 0:
             raise ValueError(f"nnodes must be positive, got {nnodes}")
+        kw = {"nnodes": nnodes}
+        if self.bisection_Bps is not None and not keep_bisection \
+                and nnodes != self.nnodes:
+            kw["bisection_Bps"] = self.bisection_Bps * (nnodes / self.nnodes)
         speeds = self.node_speeds
         if speeds and len(speeds) != nnodes:
             if nnodes < len(speeds):
                 speeds = speeds[:nnodes]
             else:
                 speeds = tuple(speeds[i % len(speeds)] for i in range(nnodes))
-            return replace(self, nnodes=nnodes, node_speeds=speeds)
-        return replace(self, nnodes=nnodes)
+            kw["node_speeds"] = speeds
+        return replace(self, **kw)
 
 
 def paper_cluster(nnodes: int, tile_size: int = 500) -> ClusterSpec:

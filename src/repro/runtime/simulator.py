@@ -97,6 +97,7 @@ def simulate(
     faults=None,
     recovery=None,
     trace_writer: Optional[TraceWriter] = None,
+    resize=None,
 ) -> ExecutionTrace:
     """Simulate the distributed execution of ``graph`` on ``cluster``.
 
@@ -140,7 +141,32 @@ def simulate(
         ``task_records is None`` and ``msg_records is None``; the
         caller owns the writer's lifecycle (``close()``).  The event
         schedule is identical with or without a writer.
+    resize:
+        A :class:`~repro.runtime.resize.ResizeEvent`, a ``"P@t"`` spec
+        string for :func:`~repro.runtime.resize.parse_resize`, or
+        ``None``.  An empty spec (or ``None``) takes this fast path
+        untouched — as does a resize that turns out to be a no-op — so
+        the golden traces stay byte-identical; an effective resize
+        routes to :func:`~repro.runtime.resize.simulate_with_resize`.
+        Cannot be combined with a non-empty ``faults`` plan.
     """
+    if resize is not None:
+        if isinstance(resize, str):
+            from .resize import parse_resize
+            resize = parse_resize(resize)
+        if resize is not None:
+            if faults is not None:
+                if isinstance(faults, str):
+                    from .faults import parse_faults
+                    faults = parse_faults(faults)
+                if faults:
+                    raise SimulationError(
+                        "resize and faults cannot be combined in one run")
+            from .resize import simulate_with_resize
+            return simulate_with_resize(
+                graph, cluster, resize, data_home=data_home,
+                record_tasks=record_tasks, network=network,
+                trace_writer=trace_writer)
     if faults is not None:
         if isinstance(faults, str):
             from .faults import parse_faults

@@ -26,6 +26,7 @@ __all__ = [
     "critical_path_breakdown",
     "comm_breakdown",
     "fault_breakdown",
+    "migration_breakdown",
 ]
 
 
@@ -226,6 +227,41 @@ def fault_breakdown(trace: ExecutionTrace,
                                      if baseline.makespan > 0 else 1.0)
         out["extra_messages"] = trace.n_messages - baseline.n_messages
     return out
+
+
+def migration_breakdown(trace: ExecutionTrace) -> Dict[str, object]:
+    """Elastic-resize metrics of a resized trace.
+
+    Summarizes the :class:`~repro.runtime.resize.MigrationStats`
+    attached by :func:`~repro.runtime.resize.simulate_with_resize`:
+    what moved (and what the COSTA relabeling saved vs naive identity
+    relabeling), how long the drain and migration phases took, and the
+    break-even horizon — the remaining-work fraction above which
+    resizing to the P′ pattern beats staying put.
+    """
+    rs = trace.resize_stats
+    if rs is None:
+        raise ValueError("trace has no migration stats (unresized run?)")
+    return {
+        "P_src": rs.P_src,
+        "P_dst": rs.P_dst,
+        "resize_time_s": rs.time,
+        "drain_s": rs.drain_s,
+        "migration_s": rs.migration_s,
+        "tiles_total": rs.tiles_total,
+        "tiles_moved": rs.tiles_moved,
+        "tiles_moved_identity": rs.tiles_moved_identity,
+        "tiles_saved": rs.tiles_saved,
+        "moved_fraction": (rs.tiles_moved / rs.tiles_total
+                           if rs.tiles_total else 0.0),
+        "bytes_moved": rs.bytes_moved,
+        "tasks_done": rs.tasks_done,
+        "tasks_remaining": rs.tasks_remaining,
+        "makespan_source_s": rs.makespan_source_s,
+        "makespan_target_s": rs.makespan_target_s,
+        "breakeven": rs.breakeven,
+        "migration_lower_bound_s": rs.plan.lower_bound_s,
+    }
 
 
 def compute_stats(trace: ExecutionTrace, graph: TaskGraph) -> TraceStats:

@@ -71,6 +71,9 @@ class TraceWriter:
     def write_fault(self, event) -> None:
         """Fault incident of a degraded run (default: ignored)."""
 
+    def write_resize(self, stats) -> None:
+        """Migration phase of an elastic-resize run (default: ignored)."""
+
     def flush(self) -> None:
         """Force buffered records to the underlying sink."""
 
@@ -103,6 +106,7 @@ class ExecutionTrace:
     net_stats: Optional["NetworkStats"] = None  #: structured comm observability
     msg_records: Optional[List[MsgRecord]] = None  #: per-message tracing
     fault_stats: Optional["FaultStats"] = None  #: degraded-run observability
+    resize_stats: Optional["MigrationStats"] = None  #: elastic-resize observability
     #: policy-universal lower bounds (cost/schedbounds.py), attached by
     #: callers that want distance-from-optimal reporting
     sched_bounds: Optional["ScheduleBounds"] = None
@@ -184,6 +188,16 @@ class ExecutionTrace:
                 "msgs_lost": float(fs.msgs_lost),
                 "retries": float(fs.retries),
             })
+        if self.resize_stats is not None:
+            rs = self.resize_stats
+            out.update({
+                "resize_P_src": float(rs.P_src),
+                "resize_P_dst": float(rs.P_dst),
+                "tiles_moved": float(rs.tiles_moved),
+                "tiles_saved": float(rs.tiles_saved),
+                "migration_s": rs.migration_s,
+                "breakeven": rs.breakeven,
+            })
         return out
 
     def to_canonical(self) -> Dict[str, object]:
@@ -227,6 +241,10 @@ class ExecutionTrace:
             # only present on degraded runs, so fault-free canonical
             # output (and every golden trace) is untouched
             out["faults"] = self.fault_stats.to_canonical()
+        if self.resize_stats is not None:
+            # only present on runs that actually migrated — a no-op
+            # resize returns a plain trace, byte-identical to goldens
+            out["resize"] = self.resize_stats.to_canonical()
         return out
 
     def __repr__(self) -> str:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -92,6 +93,7 @@ def to_chrome_trace(trace: ExecutionTrace, graph: Optional[TaskGraph] = None) ->
         })
     events.extend(_counter_events(trace))
     events.extend(_fault_events(trace))
+    events.extend(_resize_events(trace))
     events.extend(_bound_events(trace))
     return events
 
@@ -146,6 +148,37 @@ def _fault_events(trace: ExecutionTrace) -> List[dict]:
             "args": {"detail": ev.detail},
         })
     if any(e.node < 0 for e in trace.fault_stats.events) and not trace.msg_records:
+        events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
+                       "args": {"name": f"network ({trace.network})"}})
+    return events
+
+
+def _resize_events(trace: ExecutionTrace) -> List[dict]:
+    """Migration lane of an elastic-resize run.
+
+    One duration ("X") slice on the network process spanning the
+    migration phase (drain end → resumed phase start), bracketed by
+    instant events at the requested resize time and the migration end.
+    """
+    rs = trace.resize_stats
+    if rs is None:
+        return []
+    events: List[dict] = [
+        {"name": f"resize:{rs.P_src}→{rs.P_dst}", "cat": "resize",
+         "ph": "i", "s": "g", "ts": rs.time * 1e6,
+         "pid": NETWORK_PID, "tid": 0,
+         "args": {"tiles_moved": rs.tiles_moved,
+                  "tiles_saved": rs.tiles_saved}},
+        {"name": f"migration {rs.P_src}→{rs.P_dst}", "cat": "resize",
+         "ph": "X", "ts": rs.drain_s * 1e6,
+         "dur": rs.migration_s * 1e6,
+         "pid": NETWORK_PID, "tid": 0,
+         "args": {"tiles_moved": rs.tiles_moved,
+                  "bytes_moved": rs.bytes_moved,
+                  "breakeven": rs.breakeven
+                  if math.isfinite(rs.breakeven) else "inf"}},
+    ]
+    if not trace.msg_records:
         events.append({"name": "process_name", "ph": "M", "pid": NETWORK_PID,
                        "args": {"name": f"network ({trace.network})"}})
     return events
@@ -314,6 +347,26 @@ class ChromeTraceWriter(TraceWriter):
             "ts": event.time * 1e6,
             "pid": event.node if node_scoped else NETWORK_PID,
             "tid": 0, "args": {"detail": event.detail},
+        })
+
+    def write_resize(self, stats) -> None:
+        self._saw_msgs = True  # migration lives on the network process
+        self._emit({
+            "name": f"resize:{stats.P_src}→{stats.P_dst}", "cat": "resize",
+            "ph": "i", "s": "g", "ts": stats.time * 1e6,
+            "pid": NETWORK_PID, "tid": 0,
+            "args": {"tiles_moved": stats.tiles_moved,
+                     "tiles_saved": stats.tiles_saved},
+        })
+        self._emit({
+            "name": f"migration {stats.P_src}→{stats.P_dst}", "cat": "resize",
+            "ph": "X", "ts": stats.drain_s * 1e6,
+            "dur": stats.migration_s * 1e6,
+            "pid": NETWORK_PID, "tid": 0,
+            "args": {"tiles_moved": stats.tiles_moved,
+                     "bytes_moved": stats.bytes_moved,
+                     "breakeven": stats.breakeven
+                     if math.isfinite(stats.breakeven) else "inf"},
         })
 
     # ------------------------------------------------------------------

@@ -139,6 +139,62 @@ class TestFaultsAxis:
         assert "infl" not in format_campaign(clean)
 
 
+class TestResizeAxis:
+    RESIZE = "7@2e-5"
+
+    def test_resizes_expand_cells(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              resizes=["", self.RESIZE])
+        assert len(cells) == 2
+        assert {c.resize for c in cells} == {"", self.RESIZE}
+
+    def test_bad_resize_spec_rejected_at_plan_time(self):
+        with pytest.raises(ValueError):
+            plan_campaign(["g2dbc"], Ps=[5], ms=[6], resizes=["7at0.1"])
+
+    def test_faults_resize_combinations_dropped(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              faults=["", "fail:1@1e-5,seed:3"],
+                              resizes=["", self.RESIZE])
+        # the (fault, resize) grid point is mutually exclusive
+        assert len(cells) == 3
+        assert not any(c.faults and c.resize for c in cells)
+
+    def test_signature_distinguishes_resize(self):
+        a = CampaignCell("g2dbc", "lu", 5, 6)
+        b = CampaignCell("g2dbc", "lu", 5, 6, resize=self.RESIZE)
+        assert a.signature() != b.signature()
+
+    def test_resized_rows_populated(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              resizes=["", self.RESIZE])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        plain = next(r for r in rows if not r.resize)
+        resized = next(r for r in rows if r.resize)
+        assert plain.tiles_moved == 0 and plain.migration_s == 0.0
+        assert resized.tiles_moved > 0
+        assert resized.migration_s > 0.0
+        assert resized.tiles_saved >= 0
+        # base columns still describe the resized run itself
+        assert resized.makespan_s > 0
+
+    def test_resized_campaign_jobs_independent(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              resizes=["", self.RESIZE])
+        serial = run_campaign(cells, jobs=1, tile_size=TILE)
+        parallel = run_campaign(cells, jobs=2, tile_size=TILE)
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+    def test_format_shows_resize_columns_only_when_present(self):
+        cells = plan_campaign(["g2dbc"], Ps=[5], ms=[6],
+                              resizes=["", self.RESIZE])
+        rows = run_campaign(cells, jobs=1, tile_size=TILE)
+        text = format_campaign(rows)
+        assert "moved" in text and "brkeven" in text
+        plain = [r for r in rows if not r.resize]
+        assert "brkeven" not in format_campaign(plain)
+
+
 class TestJobsIndependence:
     """Property (satellite 3): campaign rows do not depend on ``jobs``."""
 

@@ -44,8 +44,15 @@ class TestGenerateReport:
         assert "G-2DBC" in text
 
     def test_unknown_scale(self):
-        with pytest.raises(KeyError):
+        # regression: a bad scale used to escape as a bare KeyError
+        with pytest.raises(ValueError, match="smoke"):
             generate_report(scale="galactic", only=["fig4"])
+
+    def test_unknown_experiment_id(self):
+        # regression: a typo'd id used to be silently skipped, so the
+        # report quietly came back empty
+        with pytest.raises(ValueError, match="fig13"):
+            generate_report(scale="smoke", only=["fig13"])
 
     def test_experiment_ids_cover_paper(self):
         assert len(EXPERIMENTS) == 12

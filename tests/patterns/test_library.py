@@ -103,9 +103,18 @@ class TestShippedDatabase:
 
         assert shipped_pattern(23, "lu").nnodes == 23
         with _pytest.raises(ValueError, match="2, 44"):
-            shipped_pattern(100)
+            shipped_pattern(100, strict=True)
         with _pytest.raises(ValueError, match="kernel"):
             shipped_pattern(10, "qr")
+
+    def test_shipped_pattern_falls_through_outside_range(self):
+        # regression: P outside the shipped 2..44 range used to raise;
+        # now it resolves via best_pattern (elastic-resize targets)
+        from repro.patterns.library import best_pattern, shipped_pattern
+
+        pat = shipped_pattern(45, "lu")
+        assert pat.nnodes == 45
+        assert pat.cost_lu == best_pattern(45, "lu").cost_lu
 
     def test_cache_returns_same_objects(self):
         from repro.patterns.library import load_shipped_database

@@ -1,0 +1,170 @@
+"""Tests for the COSTA-style migration planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import TileDistribution
+from repro.patterns.g2dbc import g2dbc
+from repro.patterns.library import shipped_pattern
+from repro.patterns.migrate import (
+    MigrationPlan,
+    costa_relabel,
+    overlap_matrix,
+    plan_from_owners,
+    plan_migration,
+    relabel_distribution,
+    relabel_pattern,
+)
+from repro.runtime.cluster import ClusterSpec
+
+
+def _cluster(P):
+    return ClusterSpec(nnodes=P, cores_per_node=2, core_gflops=1.0,
+                       bandwidth_Bps=1e9, latency_s=1e-6, tile_size=8)
+
+
+class TestOverlapMatrix:
+    def test_counts_pairs(self):
+        src = np.array([0, 0, 1, 1, 1])
+        dst = np.array([0, 1, 1, 1, 0])
+        ov = overlap_matrix(src, dst, 2)
+        assert ov[0, 0] == 1   # label 0 on node 0
+        assert ov[0, 1] == 1   # label 0 on node 1
+        assert ov[1, 0] == 1
+        assert ov[1, 1] == 2
+        assert ov.sum() == 5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="disagree"):
+            overlap_matrix(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 2)
+
+
+class TestCostaRelabel:
+    def test_identity_when_already_aligned(self):
+        ov = np.diag([5, 3, 7])
+        assert costa_relabel(ov).tolist() == [0, 1, 2]
+
+    def test_picks_max_overlap(self):
+        # label 0's tiles sit on node 1 and vice versa → swap
+        ov = np.array([[0, 5], [5, 0]])
+        assert costa_relabel(ov).tolist() == [1, 0]
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        ov = rng.integers(0, 20, size=(6, 6))
+        relabel = costa_relabel(ov)
+        assert sorted(relabel.tolist()) == list(range(6))
+
+
+class TestRelabelPattern:
+    def test_applies_permutation(self):
+        pat = g2dbc(5)
+        relabel = np.roll(np.arange(5), 1)
+        new = relabel_pattern(pat, relabel)
+        assert new.nnodes == 5
+        assert (new.grid == relabel[pat.grid]).all()
+
+    def test_relabel_distribution_matches_owner_map(self):
+        dist = TileDistribution(g2dbc(5), 12, symmetric=False)
+        relabel = np.roll(np.arange(5), 2)
+        new = relabel_distribution(dist, relabel)
+        assert (new.owners == relabel[dist.owners]).all()
+        assert new.n_tiles == dist.n_tiles
+        assert new.symmetric == dist.symmetric
+
+
+class TestPlanMigration:
+    def test_identity_plan_is_empty(self):
+        pat = g2dbc(7)
+        plan = plan_migration(pat, pat, 12, cluster=_cluster(7))
+        assert plan.tiles_moved == 0
+        assert not plan
+        assert plan.edges == ()
+        assert plan.bytes_total == 0
+
+    def test_edges_consistent_with_counts(self):
+        plan = plan_migration(g2dbc(7), g2dbc(9), 12, cluster=_cluster(7))
+        assert plan
+        assert sum(c for _, _, c in plan.edges) == plan.tiles_moved
+        assert sum(plan.out_bytes) == plan.bytes_total
+        assert sum(plan.in_bytes) == plan.bytes_total
+        for src, dst, count in plan.edges:
+            assert src != dst
+            assert count > 0
+
+    def test_lower_bound_not_above_predictions(self):
+        cluster = _cluster(7)
+        plan = plan_migration(g2dbc(7), g2dbc(9), 12, cluster=cluster)
+        assert plan.lower_bound_s > 0
+        # the nic model serializes per endpoint, so its analytic
+        # prediction can never beat the per-node byte lower bound
+        assert plan.lower_bound_s <= plan.predicted_s["nic"] + 1e-12
+        assert set(plan.predicted_s) == {"nic", "contention", "hierarchical"}
+
+    def test_symmetric_counts_lower_triangle(self):
+        m = 10
+        plan = plan_migration(shipped_pattern(5), shipped_pattern(6), m,
+                              symmetric=True, tile_bytes=8)
+        assert plan.tiles_total == m * (m + 1) // 2
+
+    def test_n_tiles_required_for_patterns(self):
+        with pytest.raises(ValueError, match="n_tiles"):
+            plan_migration(g2dbc(5), g2dbc(6))
+
+    def test_n_tiles_mismatch_raises(self):
+        a = TileDistribution(g2dbc(5), 10, symmetric=False)
+        b = TileDistribution(g2dbc(6), 12, symmetric=False)
+        with pytest.raises(ValueError, match="n_tiles"):
+            plan_migration(a, b)
+
+    def test_plan_without_cluster_has_zero_bytes(self):
+        plan = plan_migration(g2dbc(5), g2dbc(7), 10)
+        assert plan.tile_bytes == 0
+        assert plan.bytes_total == 0
+        assert plan.predicted_s == {}
+
+    def test_summary_keys(self):
+        plan = plan_migration(g2dbc(5), g2dbc(7), 10, cluster=_cluster(5))
+        s = plan.summary()
+        assert s["tiles_saved"] == plan.tiles_moved_identity - plan.tiles_moved
+        assert "predicted_nic_s" in s
+
+
+# shipped patterns are cheap to look up, so the property tests can walk
+# real (P, P′) pairs instead of toy grids
+_pairs = st.tuples(st.integers(4, 16), st.integers(4, 16), st.integers(8, 14))
+
+
+@given(_pairs)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_costa_never_worse_than_identity(params):
+    P, Q, m = params
+    plan = plan_migration(shipped_pattern(P, "lu"), shipped_pattern(Q, "lu"),
+                          m, cluster=_cluster(max(P, Q)))
+    assert plan.tiles_moved <= plan.tiles_moved_identity
+    assert 0 <= plan.tiles_moved <= plan.tiles_total
+
+
+@given(_pairs)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_tiles_moved_is_symmetric(params):
+    P, Q, m = params
+    a = shipped_pattern(P, "lu")
+    b = shipped_pattern(Q, "lu")
+    fwd = plan_migration(a, b, m)
+    rev = plan_migration(b, a, m)
+    # the matching weight of the padded overlap matrix equals that of
+    # its transpose, so moving A→B costs exactly as much as B→A
+    assert fwd.tiles_moved == rev.tiles_moved
+
+
+@given(_pairs)
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_relabel_is_permutation_of_node_space(params):
+    P, Q, m = params
+    plan = plan_migration(shipped_pattern(P, "lu"), shipped_pattern(Q, "lu"), m)
+    nmax = max(P, Q)
+    assert plan.nnodes == nmax
+    assert sorted(plan.relabel) == list(range(nmax))

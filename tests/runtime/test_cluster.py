@@ -61,6 +61,41 @@ class TestClusterSpec:
         with pytest.raises(ValueError):
             paper_cluster(4).with_nodes(0)
 
+    def test_with_nodes_rescales_bisection(self):
+        # regression: a pinned bisection_Bps used to be carried
+        # unchanged across a resize, so a grown cluster kept the small
+        # cluster's shared-link capacity
+        c = ClusterSpec(nnodes=4, bisection_Bps=8e9)
+        assert c.with_nodes(8).bisection_Bps == pytest.approx(16e9)
+        assert c.with_nodes(2).bisection_Bps == pytest.approx(4e9)
+
+    def test_with_nodes_keep_bisection_escape_hatch(self):
+        c = ClusterSpec(nnodes=4, bisection_Bps=8e9)
+        assert c.with_nodes(8, keep_bisection=True).bisection_Bps == 8e9
+
+    def test_with_nodes_same_count_keeps_bisection(self):
+        c = ClusterSpec(nnodes=4, bisection_Bps=8e9)
+        assert c.with_nodes(4).bisection_Bps == 8e9
+
+    def test_with_nodes_default_bisection_stays_none(self):
+        assert paper_cluster(4).with_nodes(9).bisection_Bps is None
+
+    def test_with_nodes_nondivisible_topology(self):
+        # 7 ranks packed 4 to a machine → a partial last machine; the
+        # resized spec's Topology must agree
+        c = ClusterSpec(nnodes=4, ranks_per_node=4)
+        topo = c.with_nodes(7).topology()
+        assert topo.nranks == 7
+        assert topo.nnodes == 2
+        assert topo.node_of(6) == 1
+
+    def test_with_nodes_speeds_cycle_with_bisection(self):
+        c = ClusterSpec(nnodes=2, cores_per_node=1,
+                        node_speeds=(1.0, 2.0), bisection_Bps=4e9)
+        big = c.with_nodes(3)
+        assert big.node_speeds == (1.0, 2.0, 1.0)
+        assert big.bisection_Bps == pytest.approx(6e9)
+
 
 class TestPaperCluster:
     def test_matches_platform_description(self):
